@@ -1,0 +1,47 @@
+// Ablation: the four cost models (LRB, WeightedSum, MinTotal, Random)
+// under the Figure 7 workload and the paper's single-attempt admission
+// semantics. LRB and the quadratic WeightedSum should lead; MinTotal
+// ignores current usage and piles onto hot buckets; Random trails.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/throughput.h"
+
+namespace {
+
+using namespace quasaq;  // NOLINT: experiment harness
+
+constexpr SimTime kHorizon = 2000 * kSecond;
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — cost model comparison");
+  std::printf("%-14s %10s %10s %10s %16s %18s\n", "model", "admitted",
+              "rejected", "completed", "stable sessions",
+              "mean delivered KB/s");
+  for (const char* model :
+       {"lrb", "weightedsum", "mintotal", "random"}) {
+    workload::ThroughputOptions options;
+    options.system.kind = core::SystemKind::kVdbmsQuasaq;
+    options.system.cost_model = model;
+    options.system.seed = 7;
+    options.system.library.max_duration_seconds = 120.0;
+    options.system.quality.max_admission_attempts = 1;
+    options.enable_renegotiation_profile = false;
+    options.traffic.seed = 42;
+    options.horizon = kHorizon;
+    options.sample_period = 10 * kSecond;
+    workload::ThroughputResult result =
+        workload::RunThroughputExperiment(options);
+    std::printf("%-14s %10llu %10llu %10llu %16.1f %18.1f\n", model,
+                static_cast<unsigned long long>(result.system_stats.admitted),
+                static_cast<unsigned long long>(result.system_stats.rejected),
+                static_cast<unsigned long long>(
+                    result.system_stats.completed),
+                result.outstanding.MeanOver(kHorizon / 2, kHorizon),
+                result.mean_delivered_kbps);
+  }
+  return 0;
+}

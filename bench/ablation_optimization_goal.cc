@@ -1,0 +1,51 @@
+// Ablation: configurable optimization goal (paper §3.4: "Our ultimate
+// goal is to build a configurable query optimizer whose optimization
+// goal can be configured according to user (DBA) inputs", cost
+// efficiency E = G / C(r)). Throughput goal (G = 1) vs user-satisfaction
+// goal (G = presentation utility): the former admits more sessions at
+// the cheapest acceptable quality, the latter trades sessions for
+// quality closer to each user's ideal.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/throughput.h"
+
+namespace {
+
+using namespace quasaq;  // NOLINT: experiment harness
+
+constexpr SimTime kHorizon = 2000 * kSecond;
+
+void RunOne(const char* label,
+            core::QualityManager::OptimizationGoal goal) {
+  workload::ThroughputOptions options;
+  options.system.kind = core::SystemKind::kVdbmsQuasaq;
+  options.system.seed = 7;
+  options.system.library.max_duration_seconds = 120.0;
+  options.system.quality.goal = goal;
+  options.traffic.seed = 42;
+  options.horizon = kHorizon;
+  options.sample_period = 10 * kSecond;
+  workload::ThroughputResult result =
+      workload::RunThroughputExperiment(options);
+  std::printf("%-22s %10llu %10llu %16.1f %14.1f %12.3f\n", label,
+              static_cast<unsigned long long>(result.system_stats.admitted),
+              static_cast<unsigned long long>(result.system_stats.rejected),
+              result.outstanding.MeanOver(kHorizon / 2, kHorizon),
+              result.mean_delivered_kbps, result.mean_utility);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablation — configurable optimization goal (E = G/C)");
+  std::printf("%-22s %10s %10s %16s %14s %12s\n", "goal", "admitted",
+              "rejected", "stable sessions", "delivered KB/s",
+              "mean utility");
+  RunOne("throughput (G = 1)",
+         core::QualityManager::OptimizationGoal::kThroughput);
+  RunOne("user satisfaction",
+         core::QualityManager::OptimizationGoal::kUserSatisfaction);
+  return 0;
+}

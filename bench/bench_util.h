@@ -1,0 +1,57 @@
+#ifndef QUASAQ_BENCH_BENCH_UTIL_H_
+#define QUASAQ_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+// Shared printing helpers for the experiment harnesses. Each harness
+// regenerates one table or figure of the paper as text: numeric rows for
+// tables, downsampled series for figures.
+
+namespace quasaq::bench {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n===== %s =====\n", title.c_str());
+}
+
+/// Prints a time series as aligned "t  value" rows.
+inline void PrintSeries(const std::string& name,
+                        const std::vector<TimeSeries::Sample>& samples,
+                        const char* unit = "") {
+  std::printf("--- %s ---\n", name.c_str());
+  for (const TimeSeries::Sample& s : samples) {
+    std::printf("  t=%7.1fs  %10.2f%s\n", SimTimeToSeconds(s.time), s.value,
+                unit);
+  }
+}
+
+/// Prints several aligned series side by side (shared time axis taken
+/// from the first series; all must be downsampled identically).
+inline void PrintSeriesTable(
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<TimeSeries::Sample>>& series,
+    const std::string& caption) {
+  std::printf("--- %s ---\n", caption.c_str());
+  std::printf("%10s", "time(s)");
+  for (const std::string& name : names) std::printf("  %14s", name.c_str());
+  std::printf("\n");
+  if (series.empty() || series[0].empty()) return;
+  for (size_t row = 0; row < series[0].size(); ++row) {
+    std::printf("%10.1f", SimTimeToSeconds(series[0][row].time));
+    for (const auto& s : series) {
+      if (row < s.size()) {
+        std::printf("  %14.2f", s[row].value);
+      } else {
+        std::printf("  %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace quasaq::bench
+
+#endif  // QUASAQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,110 @@
+// Regenerates Figure 5 and Table 2: server-side inter-frame delay of a
+// 23.97 fps stream under {VDBMS, VDBMS+QuaSAQ} x {low, high} contention.
+//
+// Paper reference (Table 2, milliseconds):
+//   VDBMS  low:   inter-frame 42.07 / 34.12   inter-GOP 622.82 /  64.51
+//   VDBMS  high:  inter-frame 48.84 / 164.99  inter-GOP 722.83 / 246.85
+//   QuaSAQ low:   inter-frame 42.16 / 30.89   inter-GOP 624.84 /  10.13
+//   QuaSAQ high:  inter-frame 42.25 / 30.29   inter-GOP 626.18 /   8.68
+// The shape to reproduce: only VDBMS-high degrades (large mean shift and
+// an SD an order of magnitude above ideal); QuaSAQ is contention-proof
+// and its inter-GOP SD collapses to the ~10 ms level.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "net/playback.h"
+#include "workload/interframe.h"
+
+namespace {
+
+using quasaq::RunningStats;
+using quasaq::SimTime;
+using quasaq::SimTimeToMillis;
+using quasaq::SimTimeToSeconds;
+using quasaq::workload::InterframeOptions;
+using quasaq::workload::InterframeResult;
+using quasaq::workload::RunInterframeExperiment;
+
+struct Panel {
+  const char* name;
+  bool quasaq;
+  bool high;
+};
+
+// Prints a coarse trace of the worst inter-frame delay per bucket of
+// frames — the visual signature of Fig 5 (spikes under VDBMS-high).
+void PrintDelayTrace(const InterframeResult& result, int buckets) {
+  const std::vector<SimTime>& times = result.frame_times;
+  if (times.size() < 2) return;
+  size_t per_bucket = (times.size() - 1 + buckets - 1) / buckets;
+  std::printf("  frame-window max inter-frame delay (ms):");
+  for (size_t start = 1; start < times.size();
+       start += per_bucket) {
+    double max_ms = 0.0;
+    for (size_t i = start;
+         i < std::min(times.size(), start + per_bucket); ++i) {
+      max_ms = std::max(max_ms,
+                        SimTimeToMillis(times[i] - times[i - 1]));
+    }
+    std::printf(" %6.1f", max_ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  quasaq::bench::PrintHeader(
+      "Figure 5 / Table 2 — inter-frame delay under contention");
+
+  const Panel panels[] = {
+      {"VDBMS, Low Contention", false, false},
+      {"VDBMS, High Contention", false, true},
+      {"QuaSAQ, Low Contention", true, false},
+      {"QuaSAQ, High Contention", true, true},
+  };
+
+  std::printf(
+      "%-26s %12s %12s %12s %12s %10s\n", "Experiment", "IF mean(ms)",
+      "IF s.d.(ms)", "GOP mean(ms)", "GOP s.d.(ms)", "max IF(ms)");
+
+  std::vector<InterframeResult> results;
+  for (const Panel& panel : panels) {
+    InterframeOptions options;
+    options.quasaq = panel.quasaq;
+    options.high_contention = panel.high;
+    InterframeResult result = RunInterframeExperiment(options);
+    std::printf("%-26s %12.2f %12.2f %12.2f %12.2f %10.2f\n", panel.name,
+                result.interframe_ms.mean(), result.interframe_ms.stddev(),
+                result.intergop_ms.mean(), result.intergop_ms.stddev(),
+                result.interframe_ms.max());
+    results.push_back(std::move(result));
+  }
+  std::printf("ideal inter-frame delay: %.2f ms (1/23.97 fps)\n",
+              results[0].ideal_interframe_ms);
+
+  std::printf("\nFig 5 traces (each column = ~52 frames):\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("%-26s\n", panels[i].name);
+    PrintDelayTrace(results[i], 20);
+  }
+
+  // Client side ("data collected on the client side show similar
+  // results", §5.1): play each measured stream through the client
+  // buffer model and report what the viewer experiences.
+  std::printf(
+      "\nclient-side playback (1 s startup buffer, 30 ms network):\n");
+  std::printf("%-26s %10s %12s %10s %12s\n", "Experiment", "on-time",
+              "late frames", "underruns", "stall (ms)");
+  for (size_t i = 0; i < results.size(); ++i) {
+    quasaq::net::PlaybackReport report =
+        quasaq::net::SimulateClientPlayback(results[i].frame_times,
+                                            quasaq::net::PlaybackOptions{});
+    std::printf("%-26s %9.1f%% %12d %10d %12.1f\n", panels[i].name,
+                report.OnTimeFraction() * 100.0, report.late_frames,
+                report.underruns, SimTimeToMillis(report.total_stall));
+  }
+  return 0;
+}

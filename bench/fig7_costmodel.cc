@@ -1,0 +1,94 @@
+// Regenerates Figure 7: two QuaSAQ systems under the same query stream,
+// one ranking plans with the Lowest Resource Bucket model and one
+// picking plans at random.
+//
+//   (a) outstanding streaming sessions over time
+//   (b) cumulative rejected queries
+//
+// Paper shape: LRB sustains 27%-89% more concurrent sessions than the
+// randomized strategy and accumulates clearly fewer rejects.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workload/throughput.h"
+
+namespace {
+
+using quasaq::SimTime;
+using quasaq::TimeSeries;
+using quasaq::kSecond;
+using quasaq::core::SystemKind;
+using quasaq::workload::RunThroughputExperiment;
+using quasaq::workload::ThroughputOptions;
+using quasaq::workload::ThroughputResult;
+
+constexpr SimTime kHorizon = 7000 * kSecond;
+
+ThroughputOptions MakeOptions(const std::string& cost_model) {
+  ThroughputOptions options;
+  options.system.kind = SystemKind::kVdbmsQuasaq;
+  options.system.cost_model = cost_model;
+  options.system.seed = 7;
+  options.traffic.seed = 42;
+  // Session lengths recalibrated from the paper's 30 s - 18 min so the
+  // offered load stabilizes within the 1000 s window (see EXPERIMENTS.md).
+  options.system.library.max_duration_seconds = 120.0;
+  // Paper semantics: only the first plan of the ranking goes to
+  // admission control; no renegotiation second chance.
+  options.system.quality.max_admission_attempts = 1;
+  options.enable_renegotiation_profile = false;
+  options.horizon = kHorizon;
+  options.sample_period = 10 * kSecond;
+  return options;
+}
+
+}  // namespace
+
+int main() {
+  quasaq::bench::PrintHeader(
+      "Figure 7 — QuaSAQ throughput: LRB vs randomized cost model");
+
+  const char* models[] = {"random", "lrb"};
+  std::vector<std::string> names;
+  std::vector<std::vector<TimeSeries::Sample>> outstanding;
+  std::vector<std::vector<TimeSeries::Sample>> rejects;
+  std::vector<ThroughputResult> results;
+
+  for (const char* model : models) {
+    ThroughputResult result = RunThroughputExperiment(MakeOptions(model));
+    names.emplace_back(model == std::string("lrb") ? "LRB" : "Random");
+    outstanding.push_back(result.outstanding.Downsample(kHorizon, 20));
+    rejects.push_back(result.cumulative_rejects.Downsample(kHorizon, 20));
+    results.push_back(std::move(result));
+  }
+
+  quasaq::bench::PrintSeriesTable(names, outstanding,
+                                  "(a) outstanding sessions");
+  quasaq::bench::PrintSeriesTable(names, rejects,
+                                  "(b) cumulative rejected queries");
+
+  std::printf("\nsummary:\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ThroughputResult& r = results[i];
+    std::printf(
+        "%-8s admitted=%llu rejected=%llu completed=%llu "
+        "stable outstanding=%.1f\n",
+        names[i].c_str(),
+        static_cast<unsigned long long>(r.system_stats.admitted),
+        static_cast<unsigned long long>(r.system_stats.rejected),
+        static_cast<unsigned long long>(r.system_stats.completed),
+        r.outstanding.MeanOver(kHorizon / 2, kHorizon));
+  }
+  double lrb = results[1].outstanding.MeanOver(kHorizon / 2, kHorizon);
+  double random = results[0].outstanding.MeanOver(kHorizon / 2, kHorizon);
+  if (random > 0.0) {
+    std::printf(
+        "\nLRB vs Random stable-stage outstanding sessions: +%.0f%% "
+        "(paper: 27%%-89%%)\n",
+        (lrb / random - 1.0) * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Extension experiment: flash crowd. A breaking-news video suddenly
+// attracts a burst of queries on top of the normal Poisson background.
+// Compares how the three systems absorb the spike, and how much dynamic
+// replication helps QuaSAQ once the replication manager reacts.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/throughput.h"
+#include "workload/traffic.h"
+
+namespace {
+
+using namespace quasaq;  // NOLINT: experiment harness
+
+constexpr SimTime kHorizon = 1200 * kSecond;
+constexpr SimTime kCrowdStart = 300 * kSecond;
+constexpr SimTime kCrowdEnd = 600 * kSecond;
+constexpr double kCrowdRatePerSecond = 2.0;  // extra queries for video 0
+
+struct Outcome {
+  core::MediaDbSystem::Stats stats;
+  double stable_sessions = 0.0;
+};
+
+Outcome RunOne(core::SystemKind kind, bool dynamic_replication) {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = kind;
+  options.seed = 7;
+  options.library.max_duration_seconds = 120.0;
+  // Start from a shallow 2-level ladder so replication has work to do.
+  options.library.min_replica_levels = 2;
+  options.library.max_replica_levels = 2;
+  options.replication.enabled = dynamic_replication;
+  options.replication.manager.period = 20 * kSecond;
+  core::MediaDbSystem system(&simulator, options);
+
+  workload::TrafficOptions traffic_options;
+  traffic_options.seed = 42;
+  workload::TrafficGenerator traffic(traffic_options,
+                                     options.library.num_videos,
+                                     options.topology.SiteIds());
+  core::UserProfile profile(UserId(1), "crowd");
+  Rng rng(99);
+
+  // Normal background arrivals.
+  std::function<void()> arrive = [&] {
+    workload::QuerySpec spec = traffic.Next();
+    system.SubmitDelivery(spec.client_site, spec.content, spec.qos,
+                          &profile);
+    SimTime gap = SecondsToSimTime(traffic.NextGapSeconds());
+    if (simulator.Now() + gap < kHorizon) simulator.ScheduleAfter(gap, arrive);
+  };
+  simulator.ScheduleAfter(SecondsToSimTime(traffic.NextGapSeconds()), arrive);
+
+  // The flash crowd: everyone wants video 0 at medium quality.
+  std::function<void()> crowd = [&] {
+    workload::QuerySpec spec = traffic.Next();
+    spec.content = LogicalOid(0);
+    system.SubmitDelivery(spec.client_site, spec.content, spec.qos,
+                          &profile);
+    SimTime gap =
+        SecondsToSimTime(rng.Exponential(1.0 / kCrowdRatePerSecond));
+    if (simulator.Now() + gap < kCrowdEnd) simulator.ScheduleAfter(gap, crowd);
+  };
+  simulator.ScheduleAt(kCrowdStart, crowd);
+
+  TimeSeries outstanding;
+  sim::PeriodicTask sampler(&simulator, 10 * kSecond, [&] {
+    outstanding.Add(simulator.Now(), system.outstanding_sessions());
+  });
+  simulator.RunUntil(kHorizon);
+  sampler.Stop();
+
+  Outcome outcome;
+  outcome.stats = system.stats();
+  outcome.stable_sessions = outstanding.MeanOver(kCrowdStart, kCrowdEnd);
+  return outcome;
+}
+
+void Print(const char* label, const Outcome& outcome) {
+  std::printf("%-34s %10llu %10llu %18.1f\n", label,
+              static_cast<unsigned long long>(outcome.stats.admitted),
+              static_cast<unsigned long long>(outcome.stats.rejected),
+              outcome.stable_sessions);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Extension — flash crowd on one video (burst 300-600 s, 2 q/s)");
+  std::printf("%-34s %10s %10s %18s\n", "system", "admitted", "rejected",
+              "sessions in burst");
+  Print("VDBMS", RunOne(core::SystemKind::kVdbms, false));
+  Print("VDBMS+QoSAPI", RunOne(core::SystemKind::kVdbmsQosApi, false));
+  Print("VDBMS+QuaSAQ (static replicas)",
+        RunOne(core::SystemKind::kVdbmsQuasaq, false));
+  Print("VDBMS+QuaSAQ + dynamic repl",
+        RunOne(core::SystemKind::kVdbmsQuasaq, true));
+  return 0;
+}

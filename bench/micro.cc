@@ -1,0 +1,176 @@
+// Micro-benchmarks of the substrate components: event queue throughput,
+// fluid-server rescheduling, VBR frame generation, metadata access with
+// and without cache hits, content search, and resource-pool operations.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/resource_vector.h"
+#include "media/frames.h"
+#include "media/library.h"
+#include "metadata/distributed_engine.h"
+#include "metadata/snapshot.h"
+#include "query/content_search.h"
+#include "resource/pool.h"
+#include "simcore/fluid.h"
+#include "simcore/simulator.h"
+
+namespace {
+
+using namespace quasaq;  // NOLINT: benchmark harness
+
+void BM_SimulatorScheduleExecute(benchmark::State& state) {
+  sim::Simulator simulator;
+  int64_t counter = 0;
+  for (auto _ : state) {
+    simulator.ScheduleAfter(1, [&counter] { ++counter; });
+    simulator.Step();
+  }
+  benchmark::DoNotOptimize(counter);
+}
+BENCHMARK(BM_SimulatorScheduleExecute);
+
+void BM_FluidServerAddRemove(benchmark::State& state) {
+  sim::Simulator simulator;
+  sim::FluidServer server(&simulator, 3200.0);
+  // A standing population so every add re-solves a non-trivial
+  // allocation.
+  for (int i = 0; i < 16; ++i) {
+    server.AddFlow(1e12, 190.0, nullptr);
+  }
+  for (auto _ : state) {
+    sim::FlowId id = server.AddFlow(1e12, 119.0, nullptr);
+    server.RemoveFlow(id);
+  }
+}
+BENCHMARK(BM_FluidServerAddRemove);
+
+void BM_FrameGeneration(benchmark::State& state) {
+  media::FrameSizeGenerator generator(media::GopPattern::Standard(), 119.0,
+                                      23.97, 1);
+  for (auto _ : state) {
+    media::FrameInfo frame = generator.Next();
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_FrameGeneration);
+
+struct MetadataFixture {
+  MetadataFixture()
+      : sites({SiteId(0), SiteId(1), SiteId(2)}),
+        engine(sites, meta::DistributedMetadataEngine::Options()) {
+    media::LibraryOptions options;
+    library = media::BuildExperimentLibrary(options, sites);
+    for (const media::VideoContent& content : library.contents) {
+      (void)engine.InsertContent(content);
+    }
+    for (const media::ReplicaInfo& replica : library.replicas) {
+      (void)engine.InsertReplica(replica);
+    }
+  }
+  std::vector<SiteId> sites;
+  media::VideoLibrary library;
+  meta::DistributedMetadataEngine engine;
+};
+
+void BM_MetadataLocalLookup(benchmark::State& state) {
+  static MetadataFixture* fixture = new MetadataFixture();
+  LogicalOid oid(0);
+  SiteId owner = fixture->engine.OwnerOf(oid);
+  for (auto _ : state) {
+    auto replicas = fixture->engine.ReplicasOf(owner, oid);
+    benchmark::DoNotOptimize(replicas);
+  }
+}
+BENCHMARK(BM_MetadataLocalLookup);
+
+void BM_MetadataCachedRemoteLookup(benchmark::State& state) {
+  static MetadataFixture* fixture = new MetadataFixture();
+  LogicalOid oid(0);
+  SiteId owner = fixture->engine.OwnerOf(oid);
+  SiteId other = owner == SiteId(0) ? SiteId(1) : SiteId(0);
+  for (auto _ : state) {
+    auto replicas = fixture->engine.ReplicasOf(other, oid);
+    benchmark::DoNotOptimize(replicas);
+  }
+}
+BENCHMARK(BM_MetadataCachedRemoteLookup);
+
+void BM_ContentKeywordSearch(benchmark::State& state) {
+  static MetadataFixture* fixture = new MetadataFixture();
+  query::ContentIndex index;
+  for (const media::VideoContent& content : fixture->library.contents) {
+    index.Add(content);
+  }
+  query::ContentPredicate predicate;
+  predicate.keywords = {"news"};
+  for (auto _ : state) {
+    auto matches = index.Search(predicate);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_ContentKeywordSearch);
+
+void BM_ContentSimilaritySearch(benchmark::State& state) {
+  static MetadataFixture* fixture = new MetadataFixture();
+  query::ContentIndex index;
+  for (const media::VideoContent& content : fixture->library.contents) {
+    index.Add(content);
+  }
+  query::ContentPredicate predicate;
+  predicate.similar_to = std::vector<double>{0.5, 0.5, 0.5, 0.5,
+                                             0.5, 0.5, 0.5, 0.5};
+  predicate.top_k = 3;
+  for (auto _ : state) {
+    auto matches = index.Search(predicate);
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_ContentSimilaritySearch);
+
+void BM_CatalogSerialize(benchmark::State& state) {
+  static MetadataFixture* fixture = new MetadataFixture();
+  for (auto _ : state) {
+    std::string snapshot = meta::SerializeCatalog(fixture->engine);
+    benchmark::DoNotOptimize(snapshot);
+  }
+}
+BENCHMARK(BM_CatalogSerialize);
+
+void BM_CatalogLoad(benchmark::State& state) {
+  static MetadataFixture* fixture = new MetadataFixture();
+  std::string snapshot = meta::SerializeCatalog(fixture->engine);
+  for (auto _ : state) {
+    meta::DistributedMetadataEngine engine(
+        fixture->sites, meta::DistributedMetadataEngine::Options());
+    Status status = meta::LoadCatalog(snapshot, &engine);
+    benchmark::DoNotOptimize(status);
+  }
+  state.SetLabel(std::to_string(snapshot.size()) + " bytes");
+}
+BENCHMARK(BM_CatalogLoad);
+
+void BM_ResourcePoolAcquireRelease(benchmark::State& state) {
+  res::ResourcePool pool;
+  for (int site = 0; site < 3; ++site) {
+    for (int kind = 0; kind < kNumResourceKinds; ++kind) {
+      pool.DeclareBucket({SiteId(site), static_cast<ResourceKind>(kind)},
+                         1000.0);
+    }
+  }
+  ResourceVector demand;
+  demand.Add({SiteId(0), ResourceKind::kCpu}, 1.0);
+  demand.Add({SiteId(0), ResourceKind::kNetworkBandwidth}, 10.0);
+  demand.Add({SiteId(0), ResourceKind::kDiskBandwidth}, 10.0);
+  for (auto _ : state) {
+    Status status = pool.Acquire(demand);
+    benchmark::DoNotOptimize(status);
+    pool.Release(demand);
+  }
+}
+BENCHMARK(BM_ResourcePoolAcquireRelease);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,151 @@
+// Section 5.2 "Overhead of QuaSAQ": the paper reports that the CPU used
+// to process each query (plan generation + cost evaluation + admission)
+// is a few milliseconds, and that the reservation scheduler adds ~1.6%
+// dispatch overhead. This google-benchmark binary measures our
+// per-query planning pipeline and its pieces.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/system.h"
+#include "query/parser.h"
+#include "workload/traffic.h"
+
+namespace {
+
+using namespace quasaq;  // NOLINT: benchmark harness
+
+struct PlanningFixture {
+  PlanningFixture() {
+    core::MediaDbSystem::Options options;
+    options.kind = core::SystemKind::kVdbmsQuasaq;
+    system = std::make_unique<core::MediaDbSystem>(&simulator, options);
+    workload::TrafficOptions traffic_options;
+    traffic = std::make_unique<workload::TrafficGenerator>(
+        traffic_options, options.library.num_videos,
+        options.topology.SiteIds());
+  }
+
+  sim::Simulator simulator;
+  std::unique_ptr<core::MediaDbSystem> system;
+  std::unique_ptr<workload::TrafficGenerator> traffic;
+};
+
+PlanningFixture& Fixture() {
+  static PlanningFixture* fixture = new PlanningFixture();
+  return *fixture;
+}
+
+// Full per-query cost: plan generation + LRB ranking + admission +
+// release (§5.2: "CPU use for processing each query (a few ms)").
+void BM_QuasaqPerQueryOverhead(benchmark::State& state) {
+  PlanningFixture& f = Fixture();
+  for (auto _ : state) {
+    workload::QuerySpec spec = f.traffic->Next();
+    Result<core::QualityManager::Admitted> admitted =
+        f.system->quality_manager()->AdmitQuery(
+            spec.client_site, spec.content, spec.qos, &f.traffic->profile());
+    if (admitted.ok()) {
+      Status status =
+          f.system->quality_manager()->CompleteDelivery(*admitted);
+      benchmark::DoNotOptimize(status);
+    }
+  }
+}
+BENCHMARK(BM_QuasaqPerQueryOverhead);
+
+void BM_PlanGenerationOnly(benchmark::State& state) {
+  PlanningFixture& f = Fixture();
+  workload::QuerySpec spec = f.traffic->Next();
+  core::PlanGenerator& generator =
+      f.system->quality_manager()->generator();
+  for (auto _ : state) {
+    Result<std::vector<core::Plan>> plans =
+        generator.Generate(spec.client_site, spec.content, spec.qos);
+    benchmark::DoNotOptimize(plans);
+  }
+}
+BENCHMARK(BM_PlanGenerationOnly);
+
+void BM_LrbRankingOnly(benchmark::State& state) {
+  PlanningFixture& f = Fixture();
+  workload::QuerySpec spec = f.traffic->Next();
+  core::PlanGenerator& generator =
+      f.system->quality_manager()->generator();
+  Result<std::vector<core::Plan>> plans =
+      generator.Generate(spec.client_site, spec.content, spec.qos);
+  core::LrbCostModel lrb;
+  core::RuntimeCostEvaluator evaluator(&lrb);
+  for (auto _ : state) {
+    std::vector<core::Plan> copy = *plans;
+    evaluator.Rank(copy, f.system->pool());
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetLabel(std::to_string(plans->size()) + " plans");
+}
+BENCHMARK(BM_LrbRankingOnly);
+
+void BM_AdmissionOnly(benchmark::State& state) {
+  PlanningFixture& f = Fixture();
+  workload::QuerySpec spec = f.traffic->Next();
+  core::PlanGenerator& generator =
+      f.system->quality_manager()->generator();
+  Result<std::vector<core::Plan>> plans =
+      generator.Generate(spec.client_site, spec.content, spec.qos);
+  res::CompositeQosApi& api = f.system->quality_manager()->qos_api();
+  for (auto _ : state) {
+    Result<res::ReservationId> reservation =
+        api.Reserve(plans->front().resources);
+    if (reservation.ok()) {
+      Status status = api.Release(*reservation);
+      benchmark::DoNotOptimize(status);
+    }
+  }
+}
+BENCHMARK(BM_AdmissionOnly);
+
+// Search-space scaling (paper §3.4: fixing the activity order reduces
+// the space to O(d^n)): plan-generation cost as the deployment grows.
+void BM_PlanGenerationScaling(benchmark::State& state) {
+  int sites = static_cast<int>(state.range(0));
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  options.topology = net::Topology::Uniform(sites);
+  core::MediaDbSystem system(&simulator, options);
+  workload::TrafficGenerator traffic(workload::TrafficOptions(),
+                                     options.library.num_videos,
+                                     options.topology.SiteIds());
+  workload::QuerySpec spec = traffic.Next();
+  core::PlanGenerator& generator =
+      system.quality_manager()->generator();
+  size_t plans_seen = 0;
+  for (auto _ : state) {
+    Result<std::vector<core::Plan>> plans =
+        generator.Generate(spec.client_site, spec.content, spec.qos);
+    plans_seen = plans.ok() ? plans->size() : 0;
+    benchmark::DoNotOptimize(plans);
+  }
+  state.SetLabel(std::to_string(plans_seen) + " plans/" +
+                 std::to_string(sites) + " sites");
+}
+BENCHMARK(BM_PlanGenerationScaling)->Arg(1)->Arg(3)->Arg(6)->Arg(9);
+
+// Text-path costs (parse + content search).
+void BM_ParseQosQuery(benchmark::State& state) {
+  const char* text =
+      "SELECT video FROM videos WHERE CONTAINS('sunset') AND "
+      "SIMILAR(0.2, 0.4, 0.6, 0.8) TOP 3 WITH QOS (resolution >= 320x240, "
+      "resolution <= 720x480, framerate >= 15, color >= 12, "
+      "format IN (MPEG1, MPEG2), security >= standard)";
+  for (auto _ : state) {
+    Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_ParseQosQuery);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Controlled comparison harness: ONE recorded query trace replayed
+// bit-identically against every system configuration and cost model.
+// Unlike the Poisson harnesses (where each system consumes the shared
+// generator identically anyway), the trace makes the controlled-input
+// property explicit and lets external traces be dropped in.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workload/trace.h"
+
+namespace {
+
+using namespace quasaq;  // NOLINT: experiment harness
+
+workload::TraceReplayResult RunOne(
+    const std::vector<workload::TraceEntry>& trace, core::SystemKind kind,
+    const char* cost_model) {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = kind;
+  options.cost_model = cost_model;
+  options.seed = 7;
+  options.library.max_duration_seconds = 120.0;
+  core::MediaDbSystem system(&simulator, options);
+  core::UserProfile profile(UserId(1), "trace");
+  return workload::ReplayTrace(trace, system, simulator, &profile);
+}
+
+void Print(const char* label, const workload::TraceReplayResult& result) {
+  std::printf("%-28s %10d %10d %12llu\n", label, result.admitted,
+              result.rejected,
+              static_cast<unsigned long long>(result.stats.completed));
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Trace replay — one query stream, every configuration");
+
+  workload::TrafficOptions traffic_options;
+  traffic_options.seed = 42;
+  traffic_options.fraction_secure = 0.1;
+  workload::TrafficGenerator generator(traffic_options, 15,
+                                       {SiteId(0), SiteId(1), SiteId(2)});
+  std::vector<workload::TraceEntry> trace =
+      workload::RecordTrace(generator, 1500);
+  std::printf("trace: %zu queries over %.0f s (text form: %zu bytes)\n\n",
+              trace.size(), trace.back().arrival_seconds,
+              workload::FormatTrace(trace).size());
+
+  std::printf("%-28s %10s %10s %12s\n", "configuration", "admitted",
+              "rejected", "completed");
+  Print("VDBMS", RunOne(trace, core::SystemKind::kVdbms, "lrb"));
+  Print("VDBMS+QoSAPI", RunOne(trace, core::SystemKind::kVdbmsQosApi, "lrb"));
+  Print("QuaSAQ / LRB",
+        RunOne(trace, core::SystemKind::kVdbmsQuasaq, "lrb"));
+  Print("QuaSAQ / WeightedSum",
+        RunOne(trace, core::SystemKind::kVdbmsQuasaq, "weightedsum"));
+  Print("QuaSAQ / MinTotal",
+        RunOne(trace, core::SystemKind::kVdbmsQuasaq, "mintotal"));
+  Print("QuaSAQ / Random",
+        RunOne(trace, core::SystemKind::kVdbmsQuasaq, "random"));
+  return 0;
+}

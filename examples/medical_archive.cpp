@@ -1,0 +1,125 @@
+// Medical video archive — the paper's motivating scenario (§1): a
+// physician diagnosing a patient needs jitter-free, high-rate,
+// high-resolution playback with strong security; a nurse organizing the
+// same records accepts much less. Each user holds a QoP Browser with
+// their own profile; identical content requests produce different
+// delivery plans, and when resources run dry, renegotiation degrades
+// each user along the axis they value least.
+//
+// Build & run:  ./build/examples/medical_archive
+
+#include <cstdio>
+
+#include "core/qop_browser.h"
+#include "simcore/simulator.h"
+
+using namespace quasaq;  // NOLINT: example code
+
+namespace {
+
+void Show(const char* who, const Result<core::QopBrowser::Presentation>&
+                               presentation,
+          const core::QopBrowser& browser) {
+  std::printf("\n[%s] %s\n", who, browser.last_query_text().c_str());
+  if (!presentation.ok()) {
+    std::printf("[%s] rejected: %s\n", who,
+                presentation.status().ToString().c_str());
+    return;
+  }
+  std::printf(
+      "[%s] delivered %s at %.1f KB/s%s\n", who,
+      media::AppQosToString(presentation->delivery.delivered_qos).c_str(),
+      presentation->delivery.wire_rate_kbps,
+      presentation->delivery.renegotiated
+          ? "  (renegotiated: degraded along the least-valued axis)"
+          : "");
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  core::MediaDbSystem db(&simulator, options);
+
+  core::QopBrowser physician(&db, core::UserProfile::Physician(UserId(1)),
+                             SiteId(0));
+  core::QopBrowser nurse(&db, core::UserProfile::Nurse(UserId(2)),
+                         SiteId(1));
+
+  query::ContentPredicate patient_video;
+  patient_video.keywords = {"patient"};
+
+  // The physician demands the diagnostic-grade stream, protected.
+  core::QopRequest diagnostic;
+  diagnostic.spatial = core::QopLevel::kHigh;
+  diagnostic.temporal = core::QopLevel::kHigh;
+  diagnostic.color = core::QopLevel::kHigh;
+  diagnostic.audio = core::QopLevel::kHigh;
+  diagnostic.security = media::SecurityLevel::kStrong;
+
+  // The nurse organizes records: medium is plenty.
+  core::QopRequest organizational;
+  organizational.security = media::SecurityLevel::kStandard;
+
+  std::printf("=== idle system: both users get their full request ===");
+  Show("physician", physician.Present(patient_video, diagnostic),
+       physician);
+  Show("nurse", nurse.Present(patient_video, organizational), nurse);
+
+  // The nurse pauses to take a call; her bandwidth goes back to the pool.
+  Status status = nurse.Pause();
+  std::printf("\nnurse pauses: %s; buckets now %s\n",
+              status.ToString().c_str(), db.pool().DebugString().c_str());
+
+  // Crowd the system with background viewers until DVD-rate streams no
+  // longer fit, and watch renegotiation kick in.
+  std::printf("\n=== loading the servers with background sessions ===\n");
+  query::QosRequirement background;
+  background.range.min_resolution = media::kResolutionSvcd;
+  background.range.min_color_depth_bits = 24;
+  background.range.min_frame_rate = 20.0;
+  int admitted = 0;
+  for (int i = 0; i < 60; ++i) {
+    if (db.SubmitDelivery(SiteId(i % 3), LogicalOid(i % 15), background)
+            .status.ok()) {
+      ++admitted;
+    }
+  }
+  std::printf("%d high-rate background sessions admitted; buckets: %s\n",
+              admitted, db.pool().DebugString().c_str());
+
+  std::printf(
+      "\n=== loaded system: the physician's request needs a second "
+      "chance ===");
+  Show("physician", physician.Present(patient_video, diagnostic),
+       physician);
+
+  // The nurse comes back — resume is a renegotiation and may fail on a
+  // loaded system.
+  status = nurse.Resume();
+  std::printf("\nnurse resumes: %s\n", status.ToString().c_str());
+  if (!status.ok()) {
+    std::printf("she retries at reduced quality instead:\n");
+    core::QopRequest reduced;
+    reduced.spatial = core::QopLevel::kLow;
+    reduced.temporal = core::QopLevel::kLow;
+    reduced.color = core::QopLevel::kLow;
+    reduced.audio = core::QopLevel::kLow;
+    Show("nurse", nurse.Present(patient_video, reduced), nurse);
+  }
+
+  if (db.quality_manager() != nullptr) {
+    const core::QualityManager::Stats& stats =
+        db.quality_manager()->stats();
+    std::printf(
+        "\nquality manager: %llu queries, %llu admitted, %llu renegotiated, "
+        "%llu rejected for resources\n",
+        static_cast<unsigned long long>(stats.queries),
+        static_cast<unsigned long long>(stats.admitted),
+        static_cast<unsigned long long>(stats.renegotiated),
+        static_cast<unsigned long long>(stats.rejected_no_resources));
+  }
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Interactive QuaSAQ shell: type QoS-aware queries against a simulated
+// 3-server deployment and watch planning, admission and resource state.
+//
+//   $ ./build/examples/quasaq_shell
+//   quasaq> SELECT video FROM videos WHERE CONTAINS('news')
+//           WITH QOS (resolution >= 320x240, framerate >= 15)
+//   quasaq> \buckets
+//   quasaq> \run 30
+//   quasaq> \quit
+//
+// Commands: \help \videos \buckets \sessions \stats \run <sec> \quit
+// Anything else is parsed as a query. Reads stdin; EOF exits (so it is
+// safe to pipe a script of queries through it).
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/system.h"
+#include "simcore/simulator.h"
+
+using namespace quasaq;  // NOLINT: example code
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  \\help            this text\n"
+      "  \\videos          list the content catalog\n"
+      "  \\buckets         resource bucket fill levels\n"
+      "  \\sessions        outstanding session count\n"
+      "  \\stats           system + quality-manager counters\n"
+      "  \\report          operator report (buckets, bottleneck)\n"
+      "  \\run <seconds>   advance simulated time\n"
+      "  \\quit            exit\n"
+      "EXPLAIN SELECT ... ranks the delivery plans without running one;\n"
+      "anything else is parsed as a QoS-aware query, e.g.\n"
+      "  SELECT video FROM videos WHERE CONTAINS('news')\n"
+      "    WITH QOS (resolution >= 320x240, framerate >= 15)\n");
+}
+
+void PrintVideos(const core::MediaDbSystem& db) {
+  for (const media::VideoContent& content : db.library().contents) {
+    std::printf("  %-10s %6.0fs  keywords:", content.title.c_str(),
+                content.duration_seconds);
+    for (const std::string& keyword : content.keywords) {
+      std::printf(" %s", keyword.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+void PrintStats(core::MediaDbSystem& db) {
+  const core::MediaDbSystem::Stats& stats = db.stats();
+  std::printf("  submitted=%llu admitted=%llu rejected=%llu completed=%llu\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.completed));
+  if (db.quality_manager() != nullptr) {
+    const core::QualityManager::Stats& qm = db.quality_manager()->stats();
+    std::printf("  plans generated=%llu renegotiated=%llu\n",
+                static_cast<unsigned long long>(qm.plans_generated),
+                static_cast<unsigned long long>(qm.renegotiated));
+  }
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  core::MediaDbSystem db(&simulator, options);
+  core::UserProfile profile(UserId(1), "shell-user");
+
+  std::printf(
+      "QuaSAQ shell — %zu videos, %zu replicas, %zu servers. \\help for "
+      "commands.\n",
+      db.library().contents.size(), db.library().replicas.size(),
+      db.topology().servers.size());
+
+  std::string line;
+  std::printf("quasaq> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line[0] == '\\') {
+      std::istringstream in(line.substr(1));
+      std::string command;
+      in >> command;
+      if (command == "quit" || command == "q") break;
+      if (command == "help") {
+        PrintHelp();
+      } else if (command == "videos") {
+        PrintVideos(db);
+      } else if (command == "buckets") {
+        std::printf("  %s\n", db.pool().DebugString().c_str());
+      } else if (command == "sessions") {
+        std::printf("  %d outstanding at t=%.1fs\n",
+                    db.outstanding_sessions(),
+                    SimTimeToSeconds(simulator.Now()));
+      } else if (command == "stats") {
+        PrintStats(db);
+      } else if (command == "report") {
+        std::printf("%s\n", db.ReportString().c_str());
+      } else if (command == "run") {
+        double seconds = 0.0;
+        in >> seconds;
+        simulator.RunUntil(simulator.Now() + SecondsToSimTime(seconds));
+        std::printf("  t=%.1fs, %d sessions outstanding\n",
+                    SimTimeToSeconds(simulator.Now()),
+                    db.outstanding_sessions());
+      } else {
+        std::printf("  unknown command; \\help\n");
+      }
+    } else if (!line.empty() &&
+               (line.rfind("EXPLAIN", 0) == 0 ||
+                line.rfind("explain", 0) == 0)) {
+      Result<core::MediaDbSystem::Explanation> explanation =
+          db.ExplainTextQuery(SiteId(0), line);
+      if (!explanation.ok()) {
+        std::printf("  error: %s\n",
+                    explanation.status().ToString().c_str());
+      } else {
+        std::printf("%s", explanation->ToString().c_str());
+      }
+    } else if (!line.empty()) {
+      Result<core::MediaDbSystem::TextQueryOutcome> outcome =
+          db.SubmitTextQuery(SiteId(0), line, &profile);
+      if (!outcome.ok()) {
+        std::printf("  error: %s\n", outcome.status().ToString().c_str());
+      } else if (!outcome->delivery.status.ok()) {
+        std::printf("  content oid%lld found, delivery rejected: %s\n",
+                    static_cast<long long>(outcome->content.value()),
+                    outcome->delivery.status.ToString().c_str());
+      } else {
+        std::printf(
+            "  session %lld: oid%lld as %s at %.1f KB/s%s\n",
+            static_cast<long long>(outcome->delivery.session.value()),
+            static_cast<long long>(outcome->content.value()),
+            media::AppQosToString(outcome->delivery.delivered_qos).c_str(),
+            outcome->delivery.wire_rate_kbps,
+            outcome->delivery.renegotiated ? " (renegotiated)" : "");
+      }
+    }
+    std::printf("quasaq> ");
+    std::fflush(stdout);
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Video portal under load — a compact version of the paper's Figure 6
+// story: the same Poisson query stream hits the three system
+// configurations, and the portal operator compares what each one
+// actually sustains.
+//
+// Build & run:  ./build/examples/video_portal
+
+#include <cstdio>
+
+#include "workload/throughput.h"
+
+using namespace quasaq;  // NOLINT: example code
+
+int main() {
+  std::printf(
+      "portal workload: 1 query/s, uniform videos, uniform QoS, 600 s\n\n");
+  std::printf("%-14s %9s %9s %9s %11s %16s %18s\n", "system", "submitted",
+              "admitted", "rejected", "completed", "avg outstanding",
+              "mean delivered KB/s");
+
+  for (core::SystemKind kind :
+       {core::SystemKind::kVdbms, core::SystemKind::kVdbmsQosApi,
+        core::SystemKind::kVdbmsQuasaq}) {
+    workload::ThroughputOptions options;
+    options.system.kind = kind;
+    options.system.seed = 11;
+    options.system.library.max_duration_seconds = 120.0;
+    options.traffic.seed = 5;
+    options.horizon = 600 * kSecond;
+    workload::ThroughputResult result =
+        workload::RunThroughputExperiment(options);
+    std::printf("%-14s %9llu %9llu %9llu %11llu %16.1f %18.1f\n",
+                std::string(core::SystemKindName(kind)).c_str(),
+                static_cast<unsigned long long>(result.system_stats.submitted),
+                static_cast<unsigned long long>(result.system_stats.admitted),
+                static_cast<unsigned long long>(result.system_stats.rejected),
+                static_cast<unsigned long long>(result.system_stats.completed),
+                result.outstanding.MeanOver(300 * kSecond, 600 * kSecond),
+                result.mean_delivered_kbps);
+  }
+
+  std::printf(
+      "\nreading the table: plain VDBMS admits everything (zero rejects)\n"
+      "but its sessions crawl; the QoS-API-only system protects quality\n"
+      "by rejecting hard; QuaSAQ's replicas + LRB plans complete the most\n"
+      "jobs while honoring every admitted session's QoS.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+#ifndef QUASAQ_COMMON_IDS_H_
+#define QUASAQ_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+// Strongly-typed identifiers used throughout QuaSAQ. Each identifier is a
+// distinct type so that, e.g., a logical OID can never be passed where a
+// physical OID is expected — the distinction is load-bearing in QuaSAQ,
+// where one logical video maps to several physical replicas.
+
+namespace quasaq {
+
+namespace internal_ids {
+
+// Value wrapper giving each tag type an independent integer id space.
+// Ids are comparable and hashable; kInvalid (-1) is the default.
+template <typename Tag>
+class TypedId {
+ public:
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(int64_t value) : value_(value) {}
+
+  constexpr int64_t value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(TypedId a, TypedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr auto operator<=>(TypedId a, TypedId b) {
+    return a.value_ <=> b.value_;
+  }
+
+ private:
+  int64_t value_ = -1;
+};
+
+}  // namespace internal_ids
+
+// Identifies video *content* (one per logical media object).
+using LogicalOid = internal_ids::TypedId<struct LogicalOidTag>;
+// Identifies one stored replica of a logical object at some site.
+using PhysicalOid = internal_ids::TypedId<struct PhysicalOidTag>;
+// Identifies a database server site.
+using SiteId = internal_ids::TypedId<struct SiteIdTag>;
+// Identifies a client streaming session (one per serviced query).
+using SessionId = internal_ids::TypedId<struct SessionIdTag>;
+// Identifies a user (owner of a QoP profile).
+using UserId = internal_ids::TypedId<struct UserIdTag>;
+
+}  // namespace quasaq
+
+namespace std {
+
+template <typename Tag>
+struct hash<quasaq::internal_ids::TypedId<Tag>> {
+  size_t operator()(quasaq::internal_ids::TypedId<Tag> id) const {
+    return std::hash<int64_t>()(id.value());
+  }
+};
+
+}  // namespace std
+
+#endif  // QUASAQ_COMMON_IDS_H_

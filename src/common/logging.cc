@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace quasaq {
+
+namespace {
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level) {
+  if (enabled_) {
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << LevelTag(level) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal_logging
+}  // namespace quasaq

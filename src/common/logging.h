@@ -1,0 +1,47 @@
+#ifndef QUASAQ_COMMON_LOGGING_H_
+#define QUASAQ_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+// Minimal leveled logging. Experiments run millions of simulated events,
+// so logging defaults to kWarning; tests and examples can raise it.
+
+namespace quasaq {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace quasaq
+
+#define QUASAQ_LOG(level)                                           \
+  ::quasaq::internal_logging::LogMessage(::quasaq::LogLevel::level, \
+                                         __FILE__, __LINE__)
+
+#endif  // QUASAQ_COMMON_LOGGING_H_

@@ -1,0 +1,46 @@
+#ifndef QUASAQ_COMMON_SIM_TIME_H_
+#define QUASAQ_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+// Simulated-time units. All simulation code measures time in integral
+// microseconds (SimTime) so that event ordering is exact and runs are
+// reproducible; floating-point seconds appear only at the edges
+// (reporting, rate arithmetic).
+
+namespace quasaq {
+
+// A point in simulated time, in microseconds since simulation start.
+// Also used for durations; both start at zero and never go negative.
+using SimTime = int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+inline constexpr SimTime kMinute = 60 * kSecond;
+
+/// Converts a duration in (possibly fractional) seconds to SimTime,
+/// rounding to the nearest microsecond.
+constexpr SimTime SecondsToSimTime(double seconds) {
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond) + 0.5);
+}
+
+/// Converts a duration in (possibly fractional) milliseconds to SimTime.
+constexpr SimTime MillisToSimTime(double millis) {
+  return static_cast<SimTime>(millis * static_cast<double>(kMillisecond) +
+                              0.5);
+}
+
+/// Converts SimTime to fractional seconds (for reporting and rates).
+constexpr double SimTimeToSeconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts SimTime to fractional milliseconds (for reporting).
+constexpr double SimTimeToMillis(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace quasaq
+
+#endif  // QUASAQ_COMMON_SIM_TIME_H_

@@ -1,0 +1,50 @@
+#include "core/cost_evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace quasaq::core {
+
+RuntimeCostEvaluator::RuntimeCostEvaluator(CostModel* model) : model_(model) {
+  assert(model_ != nullptr);
+}
+
+void RuntimeCostEvaluator::Rank(std::vector<Plan>& plans,
+                                const res::ResourcePool& pool) const {
+  struct Key {
+    double efficiency_cost;  // C(r) / G
+    double demand;           // total normalized demand (tie-break)
+    size_t index;            // enumeration order (final tie-break)
+  };
+  std::vector<Key> keys;
+  keys.reserve(plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    double cost = model_->Cost(plans[i].resources, pool);
+    double gain = gain_ ? gain_(plans[i]) : 1.0;
+    assert(gain > 0.0);
+    double demand = 0.0;
+    for (const ResourceVector::Entry& e : plans[i].resources.entries()) {
+      double capacity = pool.Capacity(e.bucket);
+      if (capacity > 0.0) demand += e.amount / capacity;
+    }
+    keys.push_back(Key{cost / gain, demand, i});
+  }
+  std::vector<size_t> order(plans.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&keys](size_t a, size_t b) {
+    const Key& ka = keys[a];
+    const Key& kb = keys[b];
+    if (ka.efficiency_cost != kb.efficiency_cost) {
+      return ka.efficiency_cost < kb.efficiency_cost;
+    }
+    if (ka.demand != kb.demand) return ka.demand < kb.demand;
+    return ka.index < kb.index;
+  });
+  std::vector<Plan> sorted;
+  sorted.reserve(plans.size());
+  for (size_t i : order) sorted.push_back(std::move(plans[i]));
+  plans = std::move(sorted);
+}
+
+}  // namespace quasaq::core

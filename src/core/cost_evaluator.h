@@ -1,0 +1,44 @@
+#ifndef QUASAQ_CORE_COST_EVALUATOR_H_
+#define QUASAQ_CORE_COST_EVALUATOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/plan.h"
+#include "resource/pool.h"
+
+// Runtime Cost Evaluator (paper §3.4): costs every generated plan under
+// the current system status and sorts them in ascending cost order; the
+// first plan in this order that passes admission control services the
+// query. Plans can additionally carry a gain G (paper's cost efficiency
+// E = G / C(r)); the default gain of 1 reduces ranking to pure cost.
+
+namespace quasaq::core {
+
+class RuntimeCostEvaluator {
+ public:
+  // Optional gain function; larger gain ranks a plan earlier at equal
+  // cost-efficiency. Must return positive values.
+  using GainFunction = std::function<double(const Plan&)>;
+
+  /// `model` must outlive the evaluator.
+  explicit RuntimeCostEvaluator(CostModel* model);
+
+  void set_gain_function(GainFunction gain) { gain_ = std::move(gain); }
+
+  /// Sorts `plans` by ascending C(r)/G under `pool`'s current usage.
+  /// Ties break toward the plan with the smaller total normalized
+  /// demand, then toward enumeration order (deterministic).
+  void Rank(std::vector<Plan>& plans, const res::ResourcePool& pool) const;
+
+  CostModel& model() const { return *model_; }
+
+ private:
+  CostModel* model_;
+  GainFunction gain_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_COST_EVALUATOR_H_

@@ -1,0 +1,74 @@
+#include "core/plan.h"
+
+#include <cassert>
+
+namespace quasaq::core {
+
+std::string Plan::ToString() const {
+  std::string out = "oid" + std::to_string(replica_oid.value()) + "@site" +
+                    std::to_string(source_site.value());
+  if (IsRelayed()) {
+    out += "->site" + std::to_string(delivery_site.value());
+  }
+  out += " ";
+  out += media::FrameDropStrategyName(transform.drop);
+  if (transform.transcode_target.has_value()) {
+    out += " transcode(" +
+           media::AppQosToString(*transform.transcode_target) + ")";
+  }
+  if (transform.encryption != media::EncryptionAlgorithm::kNone) {
+    out += " ";
+    out += media::EncryptionAlgorithmName(transform.encryption);
+  }
+  return out;
+}
+
+void FinalizePlan(Plan& plan, const media::ReplicaInfo& replica,
+                  const PlanCostConstants& constants) {
+  assert(replica.id == plan.replica_oid);
+  assert(replica.site == plan.source_site);
+
+  plan.delivered_qos = net::StreamDeliveredQos(replica, plan.transform);
+  plan.wire_rate_kbps = net::StreamWireRateKbps(replica, plan.transform);
+  plan.startup_seconds = constants.startup_base_seconds +
+                         constants.buffer_seconds;
+  if (plan.IsRelayed()) {
+    plan.startup_seconds += constants.startup_relay_seconds;
+  }
+  if (plan.transform.transcode_target.has_value()) {
+    plan.startup_seconds += constants.startup_transcode_seconds;
+  }
+
+  ResourceVector resources;
+  // Retrieval: sequential disk read at the stored bitrate.
+  resources.Add({plan.source_site, ResourceKind::kDiskBandwidth},
+                replica.bitrate_kbps);
+
+  if (plan.IsRelayed()) {
+    // Server-to-server transfer of the stored stream: outbound bandwidth
+    // at the source plus a (cheaper) relay CPU share at both ends.
+    resources.Add({plan.source_site, ResourceKind::kNetworkBandwidth},
+                  replica.bitrate_kbps);
+    net::StreamTransform plain;  // forwarding the stored bytes untouched
+    double forward_cpu = net::StreamCpuFraction(replica, plain,
+                                                constants.streaming_cost) *
+                         constants.relay_cpu_factor;
+    resources.Add({plan.source_site, ResourceKind::kCpu}, forward_cpu);
+    resources.Add({plan.delivery_site, ResourceKind::kCpu}, forward_cpu);
+  }
+
+  // Server activities + packetization run at the delivery site.
+  resources.Add({plan.delivery_site, ResourceKind::kCpu},
+                net::StreamCpuFraction(replica, plan.transform,
+                                       constants.streaming_cost));
+  // Client-facing stream leaves the delivery site.
+  resources.Add({plan.delivery_site, ResourceKind::kNetworkBandwidth},
+                plan.wire_rate_kbps);
+  // Staging buffers.
+  resources.Add({plan.delivery_site, ResourceKind::kMemory},
+                plan.wire_rate_kbps * constants.buffer_seconds);
+
+  plan.resources = std::move(resources);
+}
+
+}  // namespace quasaq::core

@@ -1,0 +1,56 @@
+#include "core/plan_executor.h"
+
+#include <cassert>
+
+namespace quasaq::core {
+
+RunningDelivery::RunningDelivery(
+    std::unique_ptr<net::RtpStreamingSession> session, Plan plan)
+    : session_(std::move(session)), plan_(std::move(plan)) {}
+
+PlanExecutor::PlanExecutor(sim::Simulator* simulator, const Options& options)
+    : simulator_(simulator), options_(options) {
+  assert(simulator_ != nullptr);
+}
+
+res::ReservationCpuScheduler& PlanExecutor::SchedulerFor(SiteId site) {
+  auto it = schedulers_.find(site);
+  if (it == schedulers_.end()) {
+    it = schedulers_
+             .emplace(site, std::make_unique<res::ReservationCpuScheduler>(
+                                simulator_,
+                                res::ReservationCpuScheduler::Options()))
+             .first;
+  }
+  return *it->second;
+}
+
+Result<std::unique_ptr<RunningDelivery>> PlanExecutor::Execute(
+    const QualityManager::Admitted& admitted,
+    const media::ReplicaInfo& replica,
+    net::RtpStreamingSession::FinishedCallback on_finished) {
+  const Plan& plan = admitted.plan;
+  if (replica.id != plan.replica_oid) {
+    return Status::InvalidArgument("replica does not match the plan");
+  }
+  auto session = std::make_unique<net::RtpStreamingSession>(
+      simulator_, replica, plan.transform, options_.session);
+  double cpu_demand =
+      session->CpuDemandFraction() * options_.cpu_reservation_factor;
+  Status status = session->AttachReserved(
+      &SchedulerFor(plan.delivery_site), cpu_demand);
+  if (!status.ok()) return status;
+  if (plan.IsRelayed()) {
+    // Reserve the forwarding share the plan charged to the source CPU.
+    double relay_cpu = plan.resources.Get(
+        {plan.source_site, ResourceKind::kCpu});
+    status = session->AttachRelay(&SchedulerFor(plan.source_site),
+                                  relay_cpu * options_.cpu_reservation_factor,
+                                  options_.relay_hop_latency);
+    if (!status.ok()) return status;
+  }
+  session->Start(std::move(on_finished));
+  return std::make_unique<RunningDelivery>(std::move(session), plan);
+}
+
+}  // namespace quasaq::core

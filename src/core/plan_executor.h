@@ -1,0 +1,72 @@
+#ifndef QUASAQ_CORE_PLAN_EXECUTOR_H_
+#define QUASAQ_CORE_PLAN_EXECUTOR_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "core/quality_manager.h"
+#include "net/rtp.h"
+#include "resource/cpu_scheduler.h"
+#include "simcore/simulator.h"
+
+// Plan Executor (paper §3.2): "actually runs the chosen plan... performs
+// actual presentation, synchronization as well as runtime maintenance of
+// underlying QoS parameters". This is the frame-level execution path:
+// an admitted plan becomes an RTP streaming session whose server
+// activities follow the plan's transform and whose CPU work runs under a
+// DSRT-style reservation at the delivery site. (The session-level
+// facades in core/system.h use timed completion instead; this executor
+// backs the QoS experiments and the examples that want real frames.)
+
+namespace quasaq::core {
+
+// One frame-level delivery in flight.
+class RunningDelivery {
+ public:
+  RunningDelivery(std::unique_ptr<net::RtpStreamingSession> session,
+                  Plan plan);
+
+  net::RtpStreamingSession& session() { return *session_; }
+  const Plan& plan() const { return plan_; }
+
+ private:
+  std::unique_ptr<net::RtpStreamingSession> session_;
+  Plan plan_;
+};
+
+class PlanExecutor {
+ public:
+  struct Options {
+    net::RtpSessionOptions session;
+    // Reservation headroom: reserve demand * this factor of CPU.
+    double cpu_reservation_factor = 1.2;
+    // Server-to-server hop latency for relayed plans.
+    SimTime relay_hop_latency = 5 * kMillisecond;
+  };
+
+  /// `simulator` must outlive the executor. One reservation scheduler is
+  /// created per delivery site on demand.
+  PlanExecutor(sim::Simulator* simulator, const Options& options);
+
+  /// Starts executing an admitted plan streaming `replica` (must match
+  /// the plan's replica OID). Fails with kResourceExhausted when the
+  /// delivery site's CPU cannot take the stream's reservation.
+  Result<std::unique_ptr<RunningDelivery>> Execute(
+      const QualityManager::Admitted& admitted,
+      const media::ReplicaInfo& replica,
+      net::RtpStreamingSession::FinishedCallback on_finished = nullptr);
+
+  /// The reservation scheduler of `site` (created on first use).
+  res::ReservationCpuScheduler& SchedulerFor(SiteId site);
+
+ private:
+  sim::Simulator* simulator_;
+  Options options_;
+  std::unordered_map<SiteId, std::unique_ptr<res::ReservationCpuScheduler>>
+      schedulers_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_PLAN_EXECUTOR_H_

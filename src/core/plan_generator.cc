@@ -1,0 +1,114 @@
+#include "core/plan_generator.h"
+
+#include <cassert>
+#include <optional>
+
+namespace quasaq::core {
+
+PlanGenerator::PlanGenerator(meta::DistributedMetadataEngine* metadata,
+                             std::vector<SiteId> sites,
+                             const Options& options)
+    : metadata_(metadata), sites_(std::move(sites)), options_(options) {
+  assert(metadata_ != nullptr);
+  assert(!sites_.empty());
+  if (options_.transcode_targets.empty()) {
+    options_.transcode_targets = media::QualityLadder::Standard().levels;
+  }
+}
+
+std::vector<media::EncryptionAlgorithm> PlanGenerator::EncryptionChoices(
+    const query::QosRequirement& qos) const {
+  std::vector<media::EncryptionAlgorithm> choices;
+  if (!options_.apply_static_pruning) {
+    // Raw space: every algorithm, including none.
+    for (int i = 0; i < media::kNumEncryptionAlgorithms; ++i) {
+      choices.push_back(static_cast<media::EncryptionAlgorithm>(i));
+    }
+    return choices;
+  }
+  if (qos.min_security == media::SecurityLevel::kNone) {
+    // Encrypting an unprotected stream wastes CPU cycles — pruned.
+    choices.push_back(media::EncryptionAlgorithm::kNone);
+    return choices;
+  }
+  for (int i = 0; i < media::kNumEncryptionAlgorithms; ++i) {
+    auto algorithm = static_cast<media::EncryptionAlgorithm>(i);
+    if (media::EncryptionStrength(algorithm) >= qos.min_security) {
+      choices.push_back(algorithm);
+    }
+  }
+  return choices;
+}
+
+Result<std::vector<Plan>> PlanGenerator::Generate(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    SimTime* metadata_latency) {
+  std::vector<media::ReplicaInfo> replicas =
+      metadata_->ReplicasOf(query_site, content, metadata_latency);
+  if (replicas.empty()) {
+    return Status::NotFound("no replicas registered for logical OID " +
+                            std::to_string(content.value()));
+  }
+
+  std::vector<media::FrameDropStrategy> drops = {
+      media::FrameDropStrategy::kNone};
+  if (options_.enable_frame_dropping) {
+    drops.push_back(media::FrameDropStrategy::kHalfBFrames);
+    drops.push_back(media::FrameDropStrategy::kAllBFrames);
+    drops.push_back(media::FrameDropStrategy::kAllBAndPFrames);
+  }
+  std::vector<media::EncryptionAlgorithm> encryptions =
+      EncryptionChoices(qos);
+
+  std::vector<Plan> plans;
+  for (const media::ReplicaInfo& replica : replicas) {
+    // A4 candidates for this replica: stay at stored quality, or any
+    // target the source quality can be down-converted to.
+    std::vector<std::optional<media::AppQos>> targets = {std::nullopt};
+    if (options_.enable_transcoding) {
+      for (const media::AppQos& target : options_.transcode_targets) {
+        if (options_.apply_static_pruning &&
+            !media::TranscodeAllowed(replica.qos, target)) {
+          continue;
+        }
+        if (!options_.apply_static_pruning && target == replica.qos) {
+          continue;  // identity transcode is meaningless in any mode
+        }
+        targets.push_back(target);
+      }
+    }
+
+    for (SiteId delivery : sites_) {
+      if (!options_.enable_relay && delivery != replica.site) continue;
+      for (const std::optional<media::AppQos>& target : targets) {
+        for (media::FrameDropStrategy drop : drops) {
+          for (media::EncryptionAlgorithm encryption : encryptions) {
+            Plan plan;
+            plan.replica_oid = replica.id;
+            plan.source_site = replica.site;
+            plan.delivery_site = delivery;
+            plan.transform.transcode_target = target;
+            plan.transform.drop = drop;
+            plan.transform.encryption = encryption;
+            FinalizePlan(plan, replica, options_.constants);
+            if (options_.apply_static_pruning &&
+                !qos.SatisfiedBy(plan.delivered_qos,
+                                 plan.transform.encryption)) {
+              continue;
+            }
+            // Time Guarantee: drop plans that cannot start in time.
+            if (options_.apply_static_pruning &&
+                qos.max_startup_seconds > 0.0 &&
+                plan.startup_seconds > qos.max_startup_seconds) {
+              continue;
+            }
+            plans.push_back(std::move(plan));
+          }
+        }
+      }
+    }
+  }
+  return plans;
+}
+
+}  // namespace quasaq::core

@@ -1,0 +1,70 @@
+#ifndef QUASAQ_CORE_PLAN_GENERATOR_H_
+#define QUASAQ_CORE_PLAN_GENERATOR_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "core/plan.h"
+#include "media/library.h"
+#include "metadata/distributed_engine.h"
+#include "query/ast.h"
+
+// Plan Generator (paper §3.4): enumerates the search space of delivery
+// plans for a logical object — all admissible combinations of physical
+// replica (A1), delivery site (A2), frame-dropping strategy (A3),
+// transcoding target (A4) and encryption algorithm (A5), with the
+// activity order fixed (retrieval -> transfer -> transcode -> drop ->
+// encrypt), which reduces the space from O(n! d^n) to O(d^n).
+//
+// Static rules drop plans that can never satisfy the query's QoS
+// (up-transcoding, out-of-range delivered quality) and obvious
+// performance pitfalls (encrypting when no security is requested —
+// encryption always follows dropping by construction).
+
+namespace quasaq::core {
+
+class PlanGenerator {
+ public:
+  struct Options {
+    // Activity sets that may appear in plans.
+    bool enable_frame_dropping = true;
+    bool enable_transcoding = true;
+    bool enable_relay = true;  // delivery site != source site
+    // When false, QoS-satisfaction filtering and the wasteful-plan rules
+    // are skipped (the raw combinatorial space; ablation only — such
+    // plans must not be executed).
+    bool apply_static_pruning = true;
+    // Candidate transcode targets (defaults to the standard ladder).
+    std::vector<media::AppQos> transcode_targets;
+    PlanCostConstants constants;
+  };
+
+  /// `metadata` must outlive the generator. `sites` is the set of
+  /// candidate delivery sites.
+  PlanGenerator(meta::DistributedMetadataEngine* metadata,
+                std::vector<SiteId> sites, const Options& options);
+
+  /// Enumerates plans for delivering `content` under `qos`, as seen from
+  /// `query_site` (metadata access latency is accumulated into
+  /// `metadata_latency` when non-null). The result can be empty: no
+  /// replica/activity combination satisfies the QoS bounds.
+  Result<std::vector<Plan>> Generate(SiteId query_site, LogicalOid content,
+                                     const query::QosRequirement& qos,
+                                     SimTime* metadata_latency = nullptr);
+
+  const Options& options() const { return options_; }
+
+ private:
+  std::vector<media::EncryptionAlgorithm> EncryptionChoices(
+      const query::QosRequirement& qos) const;
+
+  meta::DistributedMetadataEngine* metadata_;
+  std::vector<SiteId> sites_;
+  Options options_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_PLAN_GENERATOR_H_

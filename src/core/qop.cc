@@ -1,0 +1,215 @@
+#include "core/qop.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace quasaq::core {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Descending ladders used when relaxing minimum bounds.
+constexpr std::array<media::Resolution, 5> kResolutionSteps = {
+    media::kResolutionDvd, media::kResolutionSvcd, media::kResolutionVcd,
+    media::kResolutionSif, media::kResolutionQcif};
+constexpr std::array<double, 6> kFrameRateSteps = {60.0, 24.0, 20.0,
+                                                   15.0, 10.0, 5.0};
+constexpr std::array<int, 2> kColorSteps = {24, 12};
+constexpr std::array<media::AudioQuality, 4> kAudioSteps = {
+    media::AudioQuality::kCd, media::AudioQuality::kFm,
+    media::AudioQuality::kPhone, media::AudioQuality::kNone};
+
+}  // namespace
+
+std::string_view QopLevelName(QopLevel level) {
+  switch (level) {
+    case QopLevel::kLow:
+      return "low";
+    case QopLevel::kMedium:
+      return "medium";
+    case QopLevel::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+std::string QopRequest::ToString() const {
+  std::string out = "spatial=" + std::string(QopLevelName(spatial));
+  out += " temporal=" + std::string(QopLevelName(temporal));
+  out += " color=" + std::string(QopLevelName(color));
+  out += " audio=" + std::string(QopLevelName(audio));
+  switch (security) {
+    case media::SecurityLevel::kNone:
+      out += " security=none";
+      break;
+    case media::SecurityLevel::kStandard:
+      out += " security=standard";
+      break;
+    case media::SecurityLevel::kStrong:
+      out += " security=strong";
+      break;
+  }
+  return out;
+}
+
+std::optional<QopRequest> QopPresetByName(std::string_view name) {
+  QopRequest request;
+  if (EqualsIgnoreCase(name, "dvd") || EqualsIgnoreCase(name, "dvd-quality")) {
+    request.spatial = QopLevel::kHigh;
+    request.temporal = QopLevel::kHigh;
+    request.color = QopLevel::kHigh;
+    request.audio = QopLevel::kHigh;
+    return request;
+  }
+  if (EqualsIgnoreCase(name, "vcd") || EqualsIgnoreCase(name, "vcd-like")) {
+    request.spatial = QopLevel::kMedium;
+    request.temporal = QopLevel::kHigh;
+    request.color = QopLevel::kHigh;
+    request.audio = QopLevel::kHigh;
+    return request;
+  }
+  if (EqualsIgnoreCase(name, "low-bandwidth") ||
+      EqualsIgnoreCase(name, "modem")) {
+    request.spatial = QopLevel::kLow;
+    request.temporal = QopLevel::kLow;
+    request.color = QopLevel::kLow;
+    request.audio = QopLevel::kLow;
+    return request;
+  }
+  return std::nullopt;
+}
+
+UserProfile::UserProfile(UserId id, std::string name)
+    : id_(id), name_(std::move(name)) {}
+
+UserProfile UserProfile::Physician(UserId id) {
+  UserProfile profile(id, "physician");
+  profile.weights_ = RenegotiationWeights{3.0, 2.0, 1.5, 1.0};
+  return profile;
+}
+
+UserProfile UserProfile::Nurse(UserId id) {
+  UserProfile profile(id, "nurse");
+  profile.weights_ = RenegotiationWeights{1.0, 2.0, 0.5, 0.4};
+  return profile;
+}
+
+media::AppQosRange UserProfile::Translate(const QopRequest& request) const {
+  media::AppQosRange range;
+  switch (request.spatial) {
+    case QopLevel::kLow:
+      range.min_resolution = media::kResolutionQcif;
+      range.max_resolution = media::kResolutionSif;
+      break;
+    case QopLevel::kMedium:
+      range.min_resolution = media::kResolutionSif;
+      range.max_resolution = media::kResolutionSvcd;
+      break;
+    case QopLevel::kHigh:
+      range.min_resolution = media::kResolutionSvcd;
+      range.max_resolution = media::kResolutionDvd;
+      break;
+  }
+  switch (request.temporal) {
+    case QopLevel::kLow:
+      range.min_frame_rate = 5.0;
+      range.max_frame_rate = 15.0;
+      break;
+    case QopLevel::kMedium:
+      range.min_frame_rate = 15.0;
+      range.max_frame_rate = 30.0;
+      break;
+    case QopLevel::kHigh:
+      range.min_frame_rate = 20.0;
+      range.max_frame_rate = 60.0;
+      break;
+  }
+  switch (request.color) {
+    case QopLevel::kLow:
+      range.min_color_depth_bits = 12;
+      range.max_color_depth_bits = 16;
+      break;
+    case QopLevel::kMedium:
+      range.min_color_depth_bits = 12;
+      range.max_color_depth_bits = 24;
+      break;
+    case QopLevel::kHigh:
+      range.min_color_depth_bits = 24;
+      range.max_color_depth_bits = 24;
+      break;
+  }
+  switch (request.audio) {
+    case QopLevel::kLow:
+      range.min_audio = media::AudioQuality::kNone;
+      range.max_audio = media::AudioQuality::kFm;
+      break;
+    case QopLevel::kMedium:
+      range.min_audio = media::AudioQuality::kFm;
+      range.max_audio = media::AudioQuality::kCd;
+      break;
+    case QopLevel::kHigh:
+      range.min_audio = media::AudioQuality::kCd;
+      range.max_audio = media::AudioQuality::kCd;
+      break;
+  }
+  return range;
+}
+
+bool UserProfile::RelaxForRenegotiation(media::AppQosRange& range) const {
+  struct Axis {
+    double weight;
+    int which;  // 0 = spatial, 1 = temporal, 2 = color, 3 = audio
+  };
+  std::array<Axis, 4> axes = {
+      Axis{weights_.spatial, 0}, Axis{weights_.temporal, 1},
+      Axis{weights_.color, 2}, Axis{weights_.audio, 3}};
+  std::sort(axes.begin(), axes.end(),
+            [](const Axis& a, const Axis& b) { return a.weight < b.weight; });
+
+  for (const Axis& axis : axes) {
+    if (axis.which == 0) {
+      // Lower min_resolution one ladder step.
+      for (const media::Resolution& step : kResolutionSteps) {
+        if (step.PixelCount() < range.min_resolution.PixelCount()) {
+          range.min_resolution = step;
+          return true;
+        }
+      }
+    } else if (axis.which == 1) {
+      for (double step : kFrameRateSteps) {
+        if (step < range.min_frame_rate) {
+          range.min_frame_rate = step;
+          return true;
+        }
+      }
+    } else if (axis.which == 2) {
+      for (int step : kColorSteps) {
+        if (step < range.min_color_depth_bits) {
+          range.min_color_depth_bits = step;
+          return true;
+        }
+      }
+    } else {
+      for (media::AudioQuality step : kAudioSteps) {
+        if (step < range.min_audio) {
+          range.min_audio = step;
+          return true;
+        }
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace quasaq::core

@@ -1,0 +1,90 @@
+#ifndef QUASAQ_CORE_QOP_H_
+#define QUASAQ_CORE_QOP_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/ids.h"
+#include "media/activities.h"
+#include "media/quality.h"
+
+// Quality of Presentation (paper §3.2): the user-facing, qualitative
+// side of QoS. Users pick levels like "high spatial resolution" or named
+// presets like "DVD quality"; the User Profile translates those into
+// quantitative application-QoS ranges, and per-user weights record which
+// axes the user prefers to protect during renegotiation.
+
+namespace quasaq::core {
+
+// Qualitative level of one QoP axis.
+enum class QopLevel { kLow = 0, kMedium, kHigh };
+
+/// Returns "low" / "medium" / "high".
+std::string_view QopLevelName(QopLevel level);
+
+// A user's qualitative quality request.
+struct QopRequest {
+  QopLevel spatial = QopLevel::kMedium;    // spatial resolution
+  QopLevel temporal = QopLevel::kMedium;   // frame rate
+  QopLevel color = QopLevel::kMedium;      // color depth
+  QopLevel audio = QopLevel::kMedium;      // audio quality
+  media::SecurityLevel security = media::SecurityLevel::kNone;
+
+  std::string ToString() const;
+};
+
+/// Maps a named preset ("dvd", "vcd", "low-bandwidth") to a QopRequest;
+/// empty for unknown names. Matching is case-insensitive.
+std::optional<QopRequest> QopPresetByName(std::string_view name);
+
+// Relative importance of the QoP axes to one user; used to decide which
+// axis to degrade first when renegotiation is needed (paper §3.2:
+// "per-user weighting of the quality parameters"). Higher = the user
+// cares more, degrade later.
+struct RenegotiationWeights {
+  double spatial = 1.0;
+  double temporal = 1.0;
+  double color = 1.0;
+  double audio = 0.8;
+};
+
+// Per-user QoP-to-QoS mapping plus renegotiation preferences.
+class UserProfile {
+ public:
+  UserProfile(UserId id, std::string name);
+
+  /// A physician reviewing diagnostic video: everything high, strong
+  /// security, and spatial quality protected during renegotiation.
+  static UserProfile Physician(UserId id);
+
+  /// A nurse organizing records: medium quality, standard security,
+  /// temporal quality degraded last.
+  static UserProfile Nurse(UserId id);
+
+  UserId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Translates a qualitative request into the quantitative
+  /// application-QoS window this user associates with those levels.
+  media::AppQosRange Translate(const QopRequest& request) const;
+
+  const RenegotiationWeights& weights() const { return weights_; }
+  void set_weights(const RenegotiationWeights& weights) {
+    weights_ = weights;
+  }
+
+  /// Relaxes `range` one step along the axis this user is most willing
+  /// to degrade that is not yet fully relaxed (lowering that axis's
+  /// minimum bound). Returns false when nothing is left to relax.
+  bool RelaxForRenegotiation(media::AppQosRange& range) const;
+
+ private:
+  UserId id_;
+  std::string name_;
+  RenegotiationWeights weights_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_QOP_H_

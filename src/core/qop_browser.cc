@@ -1,0 +1,75 @@
+#include "core/qop_browser.h"
+
+#include <cassert>
+
+namespace quasaq::core {
+
+QopBrowser::QopBrowser(MediaDbSystem* system, UserProfile profile,
+                       SiteId client_site)
+    : system_(system),
+      profile_(std::move(profile)),
+      producer_(&profile_),
+      client_site_(client_site) {
+  assert(system_ != nullptr);
+}
+
+Result<QopBrowser::Presentation> QopBrowser::Present(
+    const query::ContentPredicate& content, const QopRequest& request) {
+  if (active_) {
+    Status status = Stop();
+    assert(status.ok());
+    (void)status;
+  }
+  last_query_text_ = producer_.ProduceText(content, request);
+  Result<MediaDbSystem::TextQueryOutcome> outcome =
+      system_->SubmitTextQuery(client_site_, last_query_text_, &profile_);
+  if (!outcome.ok()) return outcome.status();
+  if (!outcome->delivery.status.ok()) return outcome->delivery.status;
+  presentation_ = Presentation{outcome->content, outcome->delivery};
+  active_ = true;
+  return presentation_;
+}
+
+Result<QopBrowser::Presentation> QopBrowser::PresentPreset(
+    const query::ContentPredicate& content, std::string_view preset_name) {
+  std::optional<QopRequest> preset = QopPresetByName(preset_name);
+  if (!preset.has_value()) {
+    return Status::InvalidArgument("unknown QoP preset '" +
+                                   std::string(preset_name) + "'");
+  }
+  return Present(content, *preset);
+}
+
+Status QopBrowser::Pause() {
+  if (!active_) return Status::FailedPrecondition("nothing is playing");
+  return system_->PauseSession(presentation_.delivery.session);
+}
+
+Status QopBrowser::Resume() {
+  if (!active_) return Status::FailedPrecondition("nothing is playing");
+  return system_->ResumeSession(presentation_.delivery.session);
+}
+
+Result<MediaDbSystem::DeliveryOutcome> QopBrowser::ChangeQuality(
+    const QopRequest& request) {
+  if (!active_) return Status::FailedPrecondition("nothing is playing");
+  query::QosRequirement qos;
+  qos.range = profile_.Translate(request);
+  qos.min_security = request.security;
+  Result<MediaDbSystem::DeliveryOutcome> outcome =
+      system_->ChangeSessionQos(presentation_.delivery.session, qos);
+  if (outcome.ok()) presentation_.delivery = *outcome;
+  return outcome;
+}
+
+Status QopBrowser::Stop() {
+  if (!active_) return Status::Ok();
+  active_ = false;
+  Status status = system_->CancelSession(presentation_.delivery.session);
+  // The session may have completed on its own; that is not an error
+  // from the user's point of view.
+  if (status.code() == StatusCode::kNotFound) return Status::Ok();
+  return status;
+}
+
+}  // namespace quasaq::core

@@ -1,0 +1,74 @@
+#ifndef QUASAQ_CORE_QOP_BROWSER_H_
+#define QUASAQ_CORE_QOP_BROWSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/qop.h"
+#include "core/query_producer.h"
+#include "core/system.h"
+
+// QoP Browser (paper §3.2): "the user interface to the underlying
+// storage, processing and retrieval system. It enables certain QoP
+// parameter control, generation of QoS-aware queries, and execution of
+// the resulting presentation plans." One browser = one user at one
+// client site, holding at most one active presentation. The browser owns
+// the user's profile, turns qualitative requests into query text through
+// the Query Producer, and forwards playback-time user actions (pause,
+// resume, quality change) as renegotiations.
+
+namespace quasaq::core {
+
+class QopBrowser {
+ public:
+  struct Presentation {
+    LogicalOid content;
+    MediaDbSystem::DeliveryOutcome delivery;
+  };
+
+  /// `system` must outlive the browser.
+  QopBrowser(MediaDbSystem* system, UserProfile profile, SiteId client_site);
+
+  /// Finds and starts presenting the best content match under the
+  /// qualitative `request`. An already-active presentation is stopped
+  /// first (the user switched videos). On failure nothing is playing.
+  Result<Presentation> Present(const query::ContentPredicate& content,
+                               const QopRequest& request);
+
+  /// Present with a named preset ("dvd", "vcd", "modem", ...).
+  Result<Presentation> PresentPreset(const query::ContentPredicate& content,
+                                     std::string_view preset_name);
+
+  // --- user actions during playback ----------------------------------
+
+  Status Pause();
+  Status Resume();
+
+  /// The user moves the quality sliders mid-playback; the delivery is
+  /// renegotiated under the new translation of `request`.
+  Result<MediaDbSystem::DeliveryOutcome> ChangeQuality(
+      const QopRequest& request);
+
+  /// Stops the active presentation (no-op Status if none).
+  Status Stop();
+
+  bool active() const { return active_; }
+  const Presentation& presentation() const { return presentation_; }
+  /// The query text the producer generated for the last Present call —
+  /// what a GUI would show in its "advanced" box.
+  const std::string& last_query_text() const { return last_query_text_; }
+  const UserProfile& profile() const { return profile_; }
+
+ private:
+  MediaDbSystem* system_;
+  UserProfile profile_;
+  QueryProducer producer_;
+  SiteId client_site_;
+  bool active_ = false;
+  Presentation presentation_;
+  std::string last_query_text_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_QOP_BROWSER_H_

@@ -1,0 +1,159 @@
+#include "core/quality_manager.h"
+
+#include <cassert>
+
+namespace quasaq::core {
+
+QualityManager::QualityManager(meta::DistributedMetadataEngine* metadata,
+                               res::CompositeQosApi* qos_api,
+                               CostModel* cost_model,
+                               std::vector<SiteId> sites,
+                               const Options& options)
+    : qos_api_(qos_api),
+      generator_(metadata, std::move(sites), options.generator),
+      evaluator_(cost_model),
+      options_(options) {
+  assert(qos_api_ != nullptr);
+}
+
+Result<QualityManager::Admitted> QualityManager::TryAdmit(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    bool* had_plans) {
+  Result<std::vector<Plan>> plans =
+      generator_.Generate(query_site, content, qos);
+  if (!plans.ok()) return plans.status();
+  stats_.plans_generated += plans->size();
+  *had_plans = !plans->empty();
+  if (plans->empty()) {
+    return Status::NotFound("no plan satisfies the QoS bounds");
+  }
+  if (options_.goal == OptimizationGoal::kUserSatisfaction) {
+    evaluator_.set_gain_function(
+        MakeSatisfactionGain(qos.range, options_.utility_weights));
+  } else {
+    evaluator_.set_gain_function(nullptr);
+  }
+  evaluator_.Rank(*plans, qos_api_->pool());
+  int attempts = 0;
+  for (Plan& plan : *plans) {
+    if (options_.max_admission_attempts > 0 &&
+        attempts >= options_.max_admission_attempts) {
+      break;
+    }
+    ++attempts;
+    if (!qos_api_->Admissible(plan.resources)) continue;
+    Result<res::ReservationId> reservation =
+        qos_api_->Reserve(plan.resources);
+    if (!reservation.ok()) continue;  // raced/edge: try the next plan
+    Admitted admitted;
+    admitted.plan = std::move(plan);
+    admitted.reservation = *reservation;
+    return admitted;
+  }
+  return Status::ResourceExhausted("no admittable plan");
+}
+
+Result<QualityManager::Admitted> QualityManager::AdmitQuery(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    const UserProfile* profile) {
+  ++stats_.queries;
+  bool had_plans = false;
+  Result<Admitted> attempt = TryAdmit(query_site, content, qos, &had_plans);
+  if (attempt.ok()) {
+    ++stats_.admitted;
+    return attempt;
+  }
+
+  // Second chance: relax the QoS bounds along the axis this user values
+  // least and retry (paper §3.2's renegotiation on admission failure).
+  bool any_plans_seen = had_plans;
+  if (options_.enable_renegotiation && profile != nullptr) {
+    query::QosRequirement relaxed = qos;
+    for (int round = 0; round < options_.max_renegotiation_rounds; ++round) {
+      if (!profile->RelaxForRenegotiation(relaxed.range)) break;
+      Result<Admitted> retry =
+          TryAdmit(query_site, content, relaxed, &had_plans);
+      any_plans_seen = any_plans_seen || had_plans;
+      if (retry.ok()) {
+        ++stats_.admitted;
+        ++stats_.renegotiated;
+        retry->renegotiated = true;
+        return retry;
+      }
+    }
+  }
+
+  if (any_plans_seen) {
+    ++stats_.rejected_no_resources;
+    return Status::ResourceExhausted("no admittable plan after " +
+                                     std::string(profile != nullptr
+                                                     ? "renegotiation"
+                                                     : "admission control"));
+  }
+  ++stats_.rejected_no_plan;
+  return Status::NotFound("no plan satisfies the QoS bounds");
+}
+
+Status QualityManager::CompleteDelivery(const Admitted& admitted) {
+  return qos_api_->Release(admitted.reservation);
+}
+
+Result<std::vector<QualityManager::RankedPlan>> QualityManager::ExplainPlans(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    size_t limit) {
+  Result<std::vector<Plan>> plans =
+      generator_.Generate(query_site, content, qos);
+  if (!plans.ok()) return plans.status();
+  if (options_.goal == OptimizationGoal::kUserSatisfaction) {
+    evaluator_.set_gain_function(
+        MakeSatisfactionGain(qos.range, options_.utility_weights));
+  } else {
+    evaluator_.set_gain_function(nullptr);
+  }
+  evaluator_.Rank(*plans, qos_api_->pool());
+  std::vector<RankedPlan> ranked;
+  ranked.reserve(std::min(limit, plans->size()));
+  for (Plan& plan : *plans) {
+    if (ranked.size() >= limit) break;
+    RankedPlan entry;
+    entry.cost = evaluator_.model().Cost(plan.resources, qos_api_->pool());
+    entry.admissible = qos_api_->Admissible(plan.resources);
+    entry.plan = std::move(plan);
+    ranked.push_back(std::move(entry));
+  }
+  return ranked;
+}
+
+Result<QualityManager::Admitted> QualityManager::RenegotiateDelivery(
+    res::ReservationId id, SiteId query_site, LogicalOid content,
+    const query::QosRequirement& qos) {
+  if (qos_api_->Find(id) == nullptr) {
+    return Status::NotFound("unknown reservation");
+  }
+  Result<std::vector<Plan>> plans =
+      generator_.Generate(query_site, content, qos);
+  if (!plans.ok()) return plans.status();
+  if (plans->empty()) {
+    return Status::NotFound("no plan satisfies the new QoS bounds");
+  }
+  if (options_.goal == OptimizationGoal::kUserSatisfaction) {
+    evaluator_.set_gain_function(
+        MakeSatisfactionGain(qos.range, options_.utility_weights));
+  } else {
+    evaluator_.set_gain_function(nullptr);
+  }
+  evaluator_.Rank(*plans, qos_api_->pool());
+  for (Plan& plan : *plans) {
+    Status status = qos_api_->Renegotiate(id, plan.resources);
+    if (!status.ok()) continue;
+    Admitted admitted;
+    admitted.plan = std::move(plan);
+    admitted.reservation = id;
+    admitted.renegotiated = true;
+    return admitted;
+  }
+  return Status::ResourceExhausted(
+      "no admittable plan for the renegotiated QoS");
+}
+
+}  // namespace quasaq::core

@@ -1,0 +1,126 @@
+#ifndef QUASAQ_CORE_QUALITY_MANAGER_H_
+#define QUASAQ_CORE_QUALITY_MANAGER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/cost_evaluator.h"
+#include "core/plan_generator.h"
+#include "core/qop.h"
+#include "core/utility.h"
+#include "metadata/distributed_engine.h"
+#include "query/ast.h"
+#include "resource/composite_api.h"
+
+// Quality Manager (paper §3.4): the focal point of QuaSAQ. For a query
+// that phase 1 resolved to a logical OID, it generates delivery plans,
+// ranks them with the Runtime Cost Evaluator, and walks the ranking
+// through admission control — the first admittable plan is reserved and
+// executed. When nothing is admittable and the user profile allows it,
+// the QoS bounds are relaxed along the user's least-valued axis and the
+// query gets a "second chance" (renegotiation).
+
+namespace quasaq::core {
+
+class QualityManager {
+ public:
+  // Optimization goal of the configurable cost model (paper §3.4,
+  // E = G / C(r)): maximize system throughput (G = 1, the paper's
+  // evaluated model) or maximize user satisfaction (G = presentation
+  // utility of the delivered quality).
+  enum class OptimizationGoal {
+    kThroughput = 0,
+    kUserSatisfaction,
+  };
+
+  struct Options {
+    PlanGenerator::Options generator;
+    bool enable_renegotiation = true;
+    int max_renegotiation_rounds = 2;
+    // How many plans of the ranking admission control may try before the
+    // query is rejected. 0 = walk the entire ranking (engineering
+    // improvement); 1 = the paper's semantics, where only the first plan
+    // in ascending cost order is submitted for admission.
+    int max_admission_attempts = 0;
+    OptimizationGoal goal = OptimizationGoal::kThroughput;
+    // Axis weights when goal == kUserSatisfaction.
+    UtilityWeights utility_weights;
+  };
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected_no_plan = 0;      // QoS unsatisfiable from storage
+    uint64_t rejected_no_resources = 0; // all plans failed admission
+    uint64_t renegotiated = 0;          // admitted at relaxed QoS
+    uint64_t plans_generated = 0;
+  };
+
+  // A successfully admitted query.
+  struct Admitted {
+    Plan plan;
+    res::ReservationId reservation = res::kInvalidReservationId;
+    bool renegotiated = false;
+  };
+
+  /// All pointers must outlive the manager.
+  QualityManager(meta::DistributedMetadataEngine* metadata,
+                 res::CompositeQosApi* qos_api, CostModel* cost_model,
+                 std::vector<SiteId> sites, const Options& options);
+
+  /// Plans, ranks and reserves the delivery of `content` under `qos`.
+  /// `profile` enables renegotiation (nullptr = none). Fails with
+  /// kNotFound when no plan satisfies the QoS from storage and
+  /// kResourceExhausted when no satisfying plan passes admission.
+  Result<Admitted> AdmitQuery(SiteId query_site, LogicalOid content,
+                              const query::QosRequirement& qos,
+                              const UserProfile* profile = nullptr);
+
+  /// Releases the resources of a finished (or aborted) delivery.
+  Status CompleteDelivery(const Admitted& admitted);
+
+  /// Mid-playback renegotiation (paper §3.2's first scenario: "QoS
+  /// requirements are allowed to be modified during media playback"):
+  /// re-plans `content` under `qos` and atomically swaps the running
+  /// reservation `id` to the best admittable new plan. On failure the
+  /// old reservation stands untouched.
+  Result<Admitted> RenegotiateDelivery(res::ReservationId id,
+                                       SiteId query_site, LogicalOid content,
+                                       const query::QosRequirement& qos);
+
+  // One entry of an EXPLAIN listing: a ranked plan, its cost under the
+  // current system status, and whether admission control would take it.
+  struct RankedPlan {
+    Plan plan;
+    double cost = 0.0;
+    bool admissible = false;
+  };
+
+  /// Enumerates and ranks the plans for `content` under `qos` without
+  /// reserving anything — the EXPLAIN path. At most `limit` entries.
+  Result<std::vector<RankedPlan>> ExplainPlans(
+      SiteId query_site, LogicalOid content,
+      const query::QosRequirement& qos, size_t limit = 10);
+
+  const Stats& stats() const { return stats_; }
+  res::CompositeQosApi& qos_api() { return *qos_api_; }
+  PlanGenerator& generator() { return generator_; }
+
+ private:
+  // One plan-and-admit attempt at fixed QoS bounds. Fills `had_plans`.
+  Result<Admitted> TryAdmit(SiteId query_site, LogicalOid content,
+                            const query::QosRequirement& qos,
+                            bool* had_plans);
+
+  res::CompositeQosApi* qos_api_;
+  PlanGenerator generator_;
+  RuntimeCostEvaluator evaluator_;
+  Options options_;
+  Stats stats_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_QUALITY_MANAGER_H_

@@ -1,0 +1,38 @@
+#ifndef QUASAQ_CORE_QUERY_PRODUCER_H_
+#define QUASAQ_CORE_QUERY_PRODUCER_H_
+
+#include <string>
+
+#include "core/qop.h"
+#include "query/ast.h"
+
+// Query Producer (paper §3.2): turns user actions — a content request
+// plus QoP inputs — and the current User Profile settings into a
+// QoS-aware query. We emit the textual query language (query/parser.h)
+// so the whole user-to-engine path is exercised end to end.
+
+namespace quasaq::core {
+
+class QueryProducer {
+ public:
+  /// `profile` must outlive the producer.
+  explicit QueryProducer(const UserProfile* profile);
+
+  /// Renders the QoS-aware query text for `content` with the
+  /// application-QoS translation of `request`.
+  std::string ProduceText(const query::ContentPredicate& content,
+                          const QopRequest& request) const;
+
+  /// Builds the parsed query directly (what ProduceText parses to).
+  query::ParsedQuery Produce(const query::ContentPredicate& content,
+                             const QopRequest& request) const;
+
+  const UserProfile& profile() const { return *profile_; }
+
+ private:
+  const UserProfile* profile_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_QUERY_PRODUCER_H_

@@ -1,0 +1,488 @@
+#include "core/system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace quasaq::core {
+
+std::string_view SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kVdbms:
+      return "VDBMS";
+    case SystemKind::kVdbmsQosApi:
+      return "VDBMS+QoSAPI";
+    case SystemKind::kVdbmsQuasaq:
+      return "VDBMS+QuaSAQ";
+  }
+  return "unknown";
+}
+
+MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
+                             const Options& options)
+    : simulator_(simulator),
+      options_(options),
+      library_(media::BuildExperimentLibrary(options.library,
+                                             options.topology.SiteIds())),
+      qos_api_(&pool_) {
+  assert(simulator_ != nullptr);
+  std::vector<SiteId> sites = options_.topology.SiteIds();
+
+  // Resource buckets: one CPU / net / disk / memory bucket per server.
+  for (const net::ServerSpec& server : options_.topology.servers) {
+    pool_.DeclareBucket({server.id, ResourceKind::kCpu},
+                        options_.cpu_capacity);
+    pool_.DeclareBucket({server.id, ResourceKind::kNetworkBandwidth},
+                        server.outbound_kbps);
+    pool_.DeclareBucket({server.id, ResourceKind::kDiskBandwidth},
+                        server.disk_kbps);
+    pool_.DeclareBucket({server.id, ResourceKind::kMemory},
+                        server.memory_kb);
+  }
+
+  // Metadata: contents, replicas and sampled QoS profiles.
+  metadata_ = std::make_unique<meta::DistributedMetadataEngine>(
+      sites, meta::DistributedMetadataEngine::Options());
+  meta::QosSampler sampler(options_.sampler, options_.seed);
+  for (const media::VideoContent& content : library_.contents) {
+    Status status = metadata_->InsertContent(content);
+    assert(status.ok());
+    (void)status;
+    content_index_.Add(content);
+  }
+  for (const media::ReplicaInfo& replica : library_.replicas) {
+    Status status = metadata_->InsertReplica(replica);
+    assert(status.ok());
+    status = metadata_->SetQosProfile(replica.id,
+                                      sampler.SampleStreaming(replica));
+    assert(status.ok());
+    (void)status;
+  }
+
+  if (options_.kind == SystemKind::kVdbmsQuasaq) {
+    cost_model_ = MakeCostModel(options_.cost_model, options_.seed);
+    assert(cost_model_ != nullptr && "unknown cost model name");
+    // Offer reduced-color and reduced-audio transcode variants in
+    // addition to the standard ladder so color-only or audio-only
+    // degradations are plannable.
+    QualityManager::Options quality = options_.quality;
+    if (quality.generator.transcode_targets.empty()) {
+      for (const media::AppQos& level :
+           media::QualityLadder::Standard().levels) {
+        quality.generator.transcode_targets.push_back(level);
+        media::AppQos variant = level;
+        if (level.color_depth_bits > 12) {
+          variant.color_depth_bits = 12;
+          quality.generator.transcode_targets.push_back(variant);
+        }
+        if (level.audio > media::AudioQuality::kFm) {
+          variant = level;
+          variant.audio = media::AudioQuality::kFm;
+          quality.generator.transcode_targets.push_back(variant);
+          if (level.color_depth_bits > 12) {
+            variant.color_depth_bits = 12;
+            quality.generator.transcode_targets.push_back(variant);
+          }
+        }
+      }
+    }
+    quality_manager_ = std::make_unique<QualityManager>(
+        metadata_.get(), &qos_api_, cost_model_.get(), sites, quality);
+
+    if (options_.replication.enabled) {
+      int64_t max_oid = 0;
+      std::vector<storage::StorageManager*> raw_stores;
+      for (const net::ServerSpec& server : options_.topology.servers) {
+        storage::StorageManager::Options store_options;
+        store_options.disk_bandwidth_kbps = server.disk_kbps;
+        store_options.capacity_kb = options_.replication.storage_capacity_kb;
+        storage_.push_back(std::make_unique<storage::StorageManager>(
+            server.id, store_options));
+        raw_stores.push_back(storage_.back().get());
+      }
+      for (const media::ReplicaInfo& replica : library_.replicas) {
+        Status status = storage_at(replica.site)->store().Put(replica);
+        assert(status.ok());
+        (void)status;
+        max_oid = std::max(max_oid, replica.id.value());
+      }
+      replication_manager_ = std::make_unique<repl::ReplicationManager>(
+          simulator_, metadata_.get(), std::move(raw_stores),
+          media::QualityLadder::Standard(), max_oid + 1,
+          options_.replication.manager);
+      replication_manager_->Start();
+    }
+  }
+}
+
+storage::StorageManager* MediaDbSystem::storage_at(SiteId site) {
+  for (auto& store : storage_) {
+    if (store->site() == site) return store.get();
+  }
+  return nullptr;
+}
+
+int MediaDbSystem::DesiredLadderLevel(
+    const media::AppQosRange& range) const {
+  const std::vector<media::AppQos>& levels =
+      media::QualityLadder::Standard().levels;
+  for (int level = static_cast<int>(levels.size()) - 1; level >= 0;
+       --level) {
+    if (range.Contains(levels[static_cast<size_t>(level)])) return level;
+  }
+  return -1;
+}
+
+std::vector<LogicalOid> MediaDbSystem::ResolveContent(
+    const query::ParsedQuery& parsed) const {
+  return content_index_.Search(parsed.content);
+}
+
+const media::ReplicaInfo* MediaDbSystem::MasterReplicaAt(
+    LogicalOid content, SiteId site) const {
+  const media::ReplicaInfo* best = nullptr;
+  for (const media::ReplicaInfo& replica : library_.replicas) {
+    if (replica.content != content || replica.site != site) continue;
+    if (best == nullptr || best->qos.resolution.PixelCount() <
+                               replica.qos.resolution.PixelCount()) {
+      best = &replica;
+    }
+  }
+  return best;
+}
+
+MediaDbSystem::DeliveryOutcome MediaDbSystem::SubmitDelivery(
+    SiteId client_site, LogicalOid content, const query::QosRequirement& qos,
+    const UserProfile* profile) {
+  ++stats_.submitted;
+  DeliveryOutcome outcome;
+  switch (options_.kind) {
+    case SystemKind::kVdbms:
+      outcome = DeliverVdbms(client_site, content);
+      break;
+    case SystemKind::kVdbmsQosApi:
+      outcome = DeliverQosApi(client_site, content);
+      break;
+    case SystemKind::kVdbmsQuasaq:
+      outcome = DeliverQuasaq(client_site, content, qos, profile);
+      break;
+  }
+  if (outcome.status.ok()) {
+    ++stats_.admitted;
+  } else {
+    ++stats_.rejected;
+  }
+  return outcome;
+}
+
+MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverVdbms(
+    SiteId site, LogicalOid content) {
+  DeliveryOutcome outcome;
+  const media::ReplicaInfo* replica = MasterReplicaAt(content, site);
+  if (replica == nullptr) {
+    outcome.status = Status::NotFound("no replica at receiving site");
+    return outcome;
+  }
+  // No QoS control: the job always starts. When the outbound link is
+  // oversubscribed the effective delivery slows down; we model that as a
+  // bounded stretch of the session time by the link's demand ratio at
+  // admission (retransmissions/late frames — the Fig 5c pathology).
+  const net::ServerSpec* spec = options_.topology.Find(site);
+  assert(spec != nullptr);
+  double active_kbps = vdbms_site_kbps_[site.value()];
+  double demand_ratio =
+      (active_kbps + replica->bitrate_kbps) / spec->outbound_kbps;
+  double stretch =
+      std::clamp(demand_ratio, 1.0, options_.vdbms_max_stretch);
+
+  SessionRecord record;
+  record.content = content;
+  record.site = site;
+  record.vdbms_kbps = replica->bitrate_kbps;
+  vdbms_site_kbps_[site.value()] += replica->bitrate_kbps;
+
+  outcome.status = Status::Ok();
+  outcome.delivered_qos = replica->qos;
+  outcome.wire_rate_kbps = replica->bitrate_kbps;
+  outcome.session =
+      StartSession(record, replica->duration_seconds * stretch);
+  return outcome;
+}
+
+MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
+    SiteId site, LogicalOid content) {
+  DeliveryOutcome outcome;
+  const media::ReplicaInfo* replica = MasterReplicaAt(content, site);
+  if (replica == nullptr) {
+    outcome.status = Status::NotFound("no replica at receiving site");
+    return outcome;
+  }
+  // Admission + reservation on the master-quality stream from the
+  // receiving site; no plan alternatives exist in this configuration.
+  Plan plan;
+  plan.replica_oid = replica->id;
+  plan.source_site = replica->site;
+  plan.delivery_site = site;
+  FinalizePlan(plan, *replica, options_.quality.generator.constants);
+  Result<res::ReservationId> reservation = qos_api_.Reserve(plan.resources);
+  if (!reservation.ok()) {
+    outcome.status = reservation.status();
+    return outcome;
+  }
+  SessionRecord record;
+  record.content = content;
+  record.site = site;
+  record.reservation = *reservation;
+  outcome.status = Status::Ok();
+  outcome.delivered_qos = replica->qos;
+  outcome.wire_rate_kbps = plan.wire_rate_kbps;
+  outcome.session = StartSession(record, replica->duration_seconds);
+  return outcome;
+}
+
+MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
+    SiteId site, LogicalOid content, const query::QosRequirement& qos,
+    const UserProfile* profile) {
+  DeliveryOutcome outcome;
+  if (replication_manager_ != nullptr) {
+    int level = DesiredLadderLevel(qos.range);
+    if (level >= 0) replication_manager_->RecordDemand(content, level);
+  }
+  Result<QualityManager::Admitted> admitted =
+      quality_manager_->AdmitQuery(site, content, qos, profile);
+  if (!admitted.ok()) {
+    outcome.status = admitted.status();
+    return outcome;
+  }
+  // Every replica of an object shares the content's duration; look it
+  // up through metadata so dynamically created replicas work too.
+  auto content_info = metadata_->FindContent(site, content);
+  assert(content_info.has_value());
+  SessionRecord record;
+  record.content = content;
+  record.site = admitted->plan.delivery_site;
+  record.reservation = admitted->reservation;
+  outcome.status = Status::Ok();
+  outcome.renegotiated = admitted->renegotiated;
+  outcome.delivered_qos = admitted->plan.delivered_qos;
+  outcome.wire_rate_kbps = admitted->plan.wire_rate_kbps;
+  outcome.session = StartSession(record, content_info->duration_seconds);
+  return outcome;
+}
+
+SessionId MediaDbSystem::StartSession(SessionRecord record,
+                                      double duration_seconds) {
+  SessionId id(next_session_++);
+  record.start = simulator_->Now();
+  record.expected_end =
+      simulator_->Now() + SecondsToSimTime(duration_seconds);
+  if (record.reservation != res::kInvalidReservationId) {
+    const ResourceVector* vector = qos_api_.Find(record.reservation);
+    assert(vector != nullptr);
+    record.reserved_vector = *vector;
+  }
+  record.completion_event = simulator_->ScheduleAt(
+      record.expected_end, [this, id] { CompleteSession(id); });
+  sessions_.emplace(id, record);
+  ++outstanding_;
+  return id;
+}
+
+Status MediaDbSystem::PauseSession(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  SessionRecord& record = it->second;
+  if (record.paused) {
+    return Status::FailedPrecondition("session already paused");
+  }
+  // A paused stream sends nothing: give its resources back.
+  if (record.reservation != res::kInvalidReservationId) {
+    Status status = qos_api_.Release(record.reservation);
+    assert(status.ok());
+    (void)status;
+    record.reservation = res::kInvalidReservationId;
+  }
+  if (record.vdbms_kbps > 0.0) {
+    double& active = vdbms_site_kbps_[record.site.value()];
+    active = std::max(0.0, active - record.vdbms_kbps);
+  }
+  simulator_->Cancel(record.completion_event);
+  record.completion_event = sim::kInvalidEventId;
+  record.remaining_at_pause = record.expected_end - simulator_->Now();
+  record.paused = true;
+  return Status::Ok();
+}
+
+Status MediaDbSystem::ResumeSession(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  SessionRecord& record = it->second;
+  if (!record.paused) {
+    return Status::FailedPrecondition("session is not paused");
+  }
+  // Re-admission: the released resources must still be available.
+  if (!record.reserved_vector.empty()) {
+    Result<res::ReservationId> reservation =
+        qos_api_.Reserve(record.reserved_vector);
+    if (!reservation.ok()) return reservation.status();
+    record.reservation = *reservation;
+  }
+  if (record.vdbms_kbps > 0.0) {
+    vdbms_site_kbps_[record.site.value()] += record.vdbms_kbps;
+  }
+  record.paused = false;
+  record.expected_end = simulator_->Now() + record.remaining_at_pause;
+  SessionId id = session;
+  record.completion_event = simulator_->ScheduleAt(
+      record.expected_end, [this, id] { CompleteSession(id); });
+  return Status::Ok();
+}
+
+void MediaDbSystem::CompleteSession(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;  // cancelled earlier
+  const SessionRecord& record = it->second;
+  if (record.reservation != res::kInvalidReservationId) {
+    Status status = qos_api_.Release(record.reservation);
+    assert(status.ok());
+    (void)status;
+  }
+  if (record.vdbms_kbps > 0.0) {
+    double& active = vdbms_site_kbps_[record.site.value()];
+    active = std::max(0.0, active - record.vdbms_kbps);
+  }
+  sessions_.erase(it);
+  --outstanding_;
+  ++stats_.completed;
+  if (on_session_complete_) on_session_complete_(id, simulator_->Now());
+}
+
+Status MediaDbSystem::CancelSession(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  const SessionRecord& record = it->second;
+  if (record.reservation != res::kInvalidReservationId) {
+    Status status = qos_api_.Release(record.reservation);
+    assert(status.ok());
+    (void)status;
+  }
+  // Paused sessions already returned their resources.
+  if (record.vdbms_kbps > 0.0 && !record.paused) {
+    double& active = vdbms_site_kbps_[record.site.value()];
+    active = std::max(0.0, active - record.vdbms_kbps);
+  }
+  sessions_.erase(it);
+  --outstanding_;
+  return Status::Ok();
+}
+
+Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
+    SessionId session, const query::QosRequirement& new_qos) {
+  if (options_.kind != SystemKind::kVdbmsQuasaq) {
+    return Status::FailedPrecondition(
+        "mid-playback renegotiation requires QuaSAQ");
+  }
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  SessionRecord& record = it->second;
+  Result<QualityManager::Admitted> renegotiated =
+      quality_manager_->RenegotiateDelivery(record.reservation, record.site,
+                                            record.content, new_qos);
+  if (!renegotiated.ok()) return renegotiated.status();
+  record.site = renegotiated->plan.delivery_site;
+  record.reserved_vector = renegotiated->plan.resources;
+  DeliveryOutcome outcome;
+  outcome.status = Status::Ok();
+  outcome.session = session;
+  outcome.renegotiated = true;
+  outcome.delivered_qos = renegotiated->plan.delivered_qos;
+  outcome.wire_rate_kbps = renegotiated->plan.wire_rate_kbps;
+  return outcome;
+}
+
+std::string MediaDbSystem::ReportString() const {
+  char buf[160];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s: submitted=%llu admitted=%llu rejected=%llu completed=%llu "
+      "outstanding=%d",
+      std::string(SystemKindName(options_.kind)).c_str(),
+      static_cast<unsigned long long>(stats_.submitted),
+      static_cast<unsigned long long>(stats_.admitted),
+      static_cast<unsigned long long>(stats_.rejected),
+      static_cast<unsigned long long>(stats_.completed), outstanding_);
+  std::string out(buf);
+  out += "\nbuckets: " + pool_.DebugString();
+  std::string bottleneck = qos_api_.BottleneckReport();
+  if (!bottleneck.empty()) out += "\n" + bottleneck;
+  if (replication_manager_ != nullptr) {
+    const repl::ReplicationManager::Stats& repl =
+        replication_manager_->stats();
+    std::snprintf(buf, sizeof(buf),
+                  "\nreplication: cycles=%llu created=%llu dropped=%llu",
+                  static_cast<unsigned long long>(repl.cycles),
+                  static_cast<unsigned long long>(repl.created),
+                  static_cast<unsigned long long>(repl.dropped));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MediaDbSystem::Explanation::ToString() const {
+  std::string out = "EXPLAIN: " + std::to_string(plans.size()) +
+                    " plans for logical OID " +
+                    std::to_string(content.value()) + "\n";
+  char buf[160];
+  int rank = 1;
+  for (const QualityManager::RankedPlan& entry : plans) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %2d. cost=%.4f %-9s %6.1f KB/s  startup=%.1fs  %s\n",
+                  rank++, entry.cost,
+                  entry.admissible ? "admit" : "reject",
+                  entry.plan.wire_rate_kbps, entry.plan.startup_seconds,
+                  entry.plan.ToString().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+Result<MediaDbSystem::Explanation> MediaDbSystem::ExplainTextQuery(
+    SiteId client_site, std::string_view text, size_t max_plans) {
+  if (quality_manager_ == nullptr) {
+    return Status::FailedPrecondition("EXPLAIN requires QuaSAQ");
+  }
+  Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+  if (!parsed.ok()) return parsed.status();
+  std::vector<LogicalOid> matches = ResolveContent(*parsed);
+  if (matches.empty()) {
+    return Status::NotFound("no video matches the content predicate");
+  }
+  Explanation explanation;
+  explanation.content = matches.front();
+  Result<std::vector<QualityManager::RankedPlan>> plans =
+      quality_manager_->ExplainPlans(client_site, explanation.content,
+                                     parsed->qos, max_plans);
+  if (!plans.ok()) return plans.status();
+  explanation.plans = std::move(*plans);
+  return explanation;
+}
+
+Result<MediaDbSystem::TextQueryOutcome> MediaDbSystem::SubmitTextQuery(
+    SiteId client_site, std::string_view text, const UserProfile* profile) {
+  Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+  if (!parsed.ok()) return parsed.status();
+  if (parsed->explain) {
+    return Status::FailedPrecondition(
+        "EXPLAIN queries must go through ExplainTextQuery");
+  }
+  std::vector<LogicalOid> matches = ResolveContent(*parsed);
+  if (matches.empty()) {
+    return Status::NotFound("no video matches the content predicate");
+  }
+  TextQueryOutcome outcome;
+  outcome.content = matches.front();
+  outcome.delivery =
+      SubmitDelivery(client_site, outcome.content, parsed->qos, profile);
+  return outcome;
+}
+
+}  // namespace quasaq::core

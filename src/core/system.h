@@ -1,0 +1,249 @@
+#ifndef QUASAQ_CORE_SYSTEM_H_
+#define QUASAQ_CORE_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "core/qop.h"
+#include "core/quality_manager.h"
+#include "media/library.h"
+#include "metadata/distributed_engine.h"
+#include "net/topology.h"
+#include "query/content_search.h"
+#include "query/parser.h"
+#include "replication/manager.h"
+#include "resource/composite_api.h"
+#include "resource/pool.h"
+#include "simcore/simulator.h"
+#include "storage/storage_manager.h"
+
+// End-to-end system facades for the three configurations the paper
+// evaluates (Figures 6 and 7):
+//
+//  * kVdbms        — the original system: no QoS control at all. Every
+//                    query is admitted and served the master-quality
+//                    object from the receiving site; oversubscribed
+//                    links stretch job completion ("it took much longer
+//                    time to finish each job").
+//  * kVdbmsQosApi  — VDBMS + the low-level QoS APIs only: admission
+//                    control and reservation on the master-quality
+//                    stream, but no replication awareness, no plan
+//                    choice, no cost model.
+//  * kVdbmsQuasaq  — the full QuaSAQ stack: QoS-specific replicas,
+//                    plan generation, runtime cost evaluation, and
+//                    reservation through the Composite QoS API.
+//
+// Sessions are modeled at the session level here (admission +
+// timed completion); the frame-level QoS path of Figure 5 uses
+// net::RtpStreamingSession with the CPU schedulers directly.
+
+namespace quasaq::core {
+
+enum class SystemKind {
+  kVdbms = 0,
+  kVdbmsQosApi,
+  kVdbmsQuasaq,
+};
+
+/// Returns "VDBMS", "VDBMS+QoSAPI" or "VDBMS+QuaSAQ".
+std::string_view SystemKindName(SystemKind kind);
+
+class MediaDbSystem {
+ public:
+  struct Options {
+    SystemKind kind = SystemKind::kVdbmsQuasaq;
+    net::Topology topology = net::Topology::PaperTestbed();
+    media::LibraryOptions library;
+    // Cost model name for the QuaSAQ configuration (cost_model.h).
+    std::string cost_model = "lrb";
+    uint64_t seed = 1;
+    QualityManager::Options quality;
+    // CPU capacity of one server, as a fraction (1.0 = one CPU).
+    double cpu_capacity = 1.0;
+    // Oversubscribed VDBMS links stretch session time up to this factor.
+    double vdbms_max_stretch = 2.5;
+    meta::QosSampler::Options sampler;
+
+    // Dynamic online replication (QuaSAQ only). When enabled the system
+    // instantiates per-site storage managers, tracks per-(content,
+    // quality) demand and lets a ReplicationManager materialize/evict
+    // replicas at runtime.
+    struct DynamicReplication {
+      bool enabled = false;
+      repl::ReplicationManager::Options manager;
+      // Per-site storage budget; 0 = unlimited.
+      double storage_capacity_kb = 0.0;
+    };
+    DynamicReplication replication;
+  };
+
+  struct DeliveryOutcome {
+    Status status;  // OK = admitted; the session is now streaming
+    SessionId session;
+    bool renegotiated = false;
+    media::AppQos delivered_qos;   // valid when admitted
+    double wire_rate_kbps = 0.0;   // valid when admitted
+  };
+
+  struct Stats {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t completed = 0;
+  };
+
+  using SessionCompleteCallback =
+      std::function<void(SessionId, SimTime completion_time)>;
+
+  MediaDbSystem(sim::Simulator* simulator, const Options& options);
+
+  /// Phase 1: resolves the content component of a parsed query to
+  /// logical OIDs via the content index.
+  std::vector<LogicalOid> ResolveContent(
+      const query::ParsedQuery& parsed) const;
+
+  /// Phase 2: admits and starts the delivery of `content` under `qos`
+  /// for a client attached to `client_site`. Depending on the system
+  /// kind this performs no control (VDBMS), plain admission
+  /// (VDBMS+QoSAPI) or full QuaSAQ planning.
+  DeliveryOutcome SubmitDelivery(SiteId client_site, LogicalOid content,
+                                 const query::QosRequirement& qos,
+                                 const UserProfile* profile = nullptr);
+
+  struct TextQueryOutcome {
+    LogicalOid content;
+    DeliveryOutcome delivery;
+  };
+
+  /// Full path: parse `text`, resolve content, deliver the first match.
+  /// Queries prefixed with EXPLAIN are rejected with
+  /// kFailedPrecondition — route them to ExplainTextQuery.
+  Result<TextQueryOutcome> SubmitTextQuery(SiteId client_site,
+                                           std::string_view text,
+                                           const UserProfile* profile =
+                                               nullptr);
+
+  struct Explanation {
+    LogicalOid content;
+    std::vector<QualityManager::RankedPlan> plans;
+
+    /// Renders the EXPLAIN listing, one plan per line with its cost,
+    /// wire rate and admissibility.
+    std::string ToString() const;
+  };
+
+  /// EXPLAIN path (QuaSAQ only): parse, resolve content, enumerate and
+  /// rank the delivery plans without executing anything. Accepts the
+  /// query with or without the EXPLAIN prefix.
+  Result<Explanation> ExplainTextQuery(SiteId client_site,
+                                       std::string_view text,
+                                       size_t max_plans = 10);
+
+  /// Aborts a running session early, releasing its resources.
+  Status CancelSession(SessionId session);
+
+  /// Mid-playback QoS change (QuaSAQ only): re-plans the session's
+  /// content under `new_qos` and renegotiates its reservation. The
+  /// playback schedule is unchanged; only the delivered quality and the
+  /// reserved resources move. Fails with kFailedPrecondition on
+  /// non-QuaSAQ systems, kNotFound for unknown sessions; planner and
+  /// admission errors propagate, leaving the old reservation intact.
+  Result<DeliveryOutcome> ChangeSessionQos(
+      SessionId session, const query::QosRequirement& new_qos);
+
+  /// User action: pauses a running session. Its reserved resources are
+  /// released while paused (a paused stream sends nothing); playback
+  /// time stops accruing.
+  Status PauseSession(SessionId session);
+
+  /// User action: resumes a paused session — effectively a
+  /// renegotiation, since the released resources must be re-admitted.
+  /// Fails with kResourceExhausted when the system can no longer carry
+  /// the stream; the session then stays paused.
+  Status ResumeSession(SessionId session);
+
+  void set_on_session_complete(SessionCompleteCallback callback) {
+    on_session_complete_ = std::move(callback);
+  }
+
+  int outstanding_sessions() const { return outstanding_; }
+  const Stats& stats() const { return stats_; }
+  SystemKind kind() const { return options_.kind; }
+
+  const media::VideoLibrary& library() const { return library_; }
+  const net::Topology& topology() const { return options_.topology; }
+  res::ResourcePool& pool() { return pool_; }
+  const res::CompositeQosApi& qos_api() const { return qos_api_; }
+
+  /// Multi-line operator report: query counters, bucket fill, bottleneck
+  /// resource, and (when enabled) replication activity.
+  std::string ReportString() const;
+  meta::DistributedMetadataEngine& metadata() { return *metadata_; }
+  QualityManager* quality_manager() { return quality_manager_.get(); }
+  /// Non-null only when dynamic replication is enabled.
+  repl::ReplicationManager* replication_manager() {
+    return replication_manager_.get();
+  }
+  /// The storage manager of `site`; non-null only with replication on.
+  storage::StorageManager* storage_at(SiteId site);
+
+ private:
+  struct SessionRecord {
+    LogicalOid content;
+    SimTime start = 0;
+    res::ReservationId reservation = res::kInvalidReservationId;
+    double vdbms_kbps = 0.0;  // bitrate pinned on `site` (VDBMS only)
+    SiteId site;
+    // Pause/resume bookkeeping.
+    sim::EventId completion_event = sim::kInvalidEventId;
+    SimTime expected_end = 0;
+    bool paused = false;
+    SimTime remaining_at_pause = 0;
+    ResourceVector reserved_vector;  // for re-admission on resume
+  };
+
+  /// The master-quality replica of `content` stored at `site`
+  /// (every system kind can assume full replication).
+  const media::ReplicaInfo* MasterReplicaAt(LogicalOid content,
+                                            SiteId site) const;
+  /// The cheapest standard-ladder level whose quality satisfies `range`
+  /// as stored (no activities); -1 when only derived streams can.
+  int DesiredLadderLevel(const media::AppQosRange& range) const;
+  DeliveryOutcome DeliverVdbms(SiteId site, LogicalOid content);
+  DeliveryOutcome DeliverQosApi(SiteId site, LogicalOid content);
+  DeliveryOutcome DeliverQuasaq(SiteId site, LogicalOid content,
+                                const query::QosRequirement& qos,
+                                const UserProfile* profile);
+  SessionId StartSession(SessionRecord record, double duration_seconds);
+  void CompleteSession(SessionId id);
+
+  sim::Simulator* simulator_;
+  Options options_;
+  media::VideoLibrary library_;
+  std::unique_ptr<meta::DistributedMetadataEngine> metadata_;
+  query::ContentIndex content_index_;
+  res::ResourcePool pool_;
+  res::CompositeQosApi qos_api_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<QualityManager> quality_manager_;
+  std::vector<std::unique_ptr<storage::StorageManager>> storage_;
+  std::unique_ptr<repl::ReplicationManager> replication_manager_;
+
+  int64_t next_session_ = 1;
+  int outstanding_ = 0;
+  Stats stats_;
+  std::unordered_map<SessionId, SessionRecord> sessions_;
+  std::unordered_map<int64_t, double> vdbms_site_kbps_;  // site -> active
+  SessionCompleteCallback on_session_complete_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_SYSTEM_H_

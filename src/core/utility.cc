@@ -1,0 +1,48 @@
+#include "core/utility.h"
+
+#include <algorithm>
+
+namespace quasaq::core {
+
+double AxisUtility(double delivered, double min_value, double max_value) {
+  if (max_value <= min_value) {
+    return delivered >= min_value ? 1.0 : 0.0;
+  }
+  return std::clamp((delivered - min_value) / (max_value - min_value), 0.0,
+                    1.0);
+}
+
+double PresentationUtility(const media::AppQos& delivered,
+                           const media::AppQosRange& requested,
+                           const UtilityWeights& weights) {
+  double spatial = AxisUtility(
+      static_cast<double>(delivered.resolution.PixelCount()),
+      static_cast<double>(requested.min_resolution.PixelCount()),
+      static_cast<double>(requested.max_resolution.PixelCount()));
+  double temporal = AxisUtility(delivered.frame_rate,
+                                requested.min_frame_rate,
+                                requested.max_frame_rate);
+  double color = AxisUtility(
+      static_cast<double>(delivered.color_depth_bits),
+      static_cast<double>(requested.min_color_depth_bits),
+      static_cast<double>(requested.max_color_depth_bits));
+  double audio = AxisUtility(static_cast<double>(delivered.audio),
+                             static_cast<double>(requested.min_audio),
+                             static_cast<double>(requested.max_audio));
+  double total_weight = weights.spatial + weights.temporal +
+                        weights.color + weights.audio;
+  if (total_weight <= 0.0) return 0.0;
+  return (spatial * weights.spatial + temporal * weights.temporal +
+          color * weights.color + audio * weights.audio) /
+         total_weight;
+}
+
+RuntimeCostEvaluator::GainFunction MakeSatisfactionGain(
+    media::AppQosRange requested, UtilityWeights weights) {
+  return [requested, weights](const Plan& plan) {
+    return 0.1 +
+           0.9 * PresentationUtility(plan.delivered_qos, requested, weights);
+  };
+}
+
+}  // namespace quasaq::core

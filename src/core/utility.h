@@ -1,0 +1,46 @@
+#ifndef QUASAQ_CORE_UTILITY_H_
+#define QUASAQ_CORE_UTILITY_H_
+
+#include "core/cost_evaluator.h"
+#include "media/quality.h"
+
+// Utility functions mapping delivered quality to user satisfaction —
+// the gain term G of the paper's cost efficiency E = G / C(r). The
+// paper's simple model maximizes throughput (G = 1); this module
+// implements the "maximized user satisfaction" goal it mentions,
+// following the QoS-as-distance view of Walpole et al. [8]: each QoS
+// axis contributes a normalized position of the delivered value inside
+// the user's acceptable window, combined by per-user weights.
+
+namespace quasaq::core {
+
+// Relative importance of the axes when scoring satisfaction.
+struct UtilityWeights {
+  double spatial = 1.0;
+  double temporal = 1.0;
+  double color = 1.0;
+  double audio = 0.5;
+};
+
+/// Position of `delivered` within [min, max], clipped to [0, 1]; a
+/// degenerate window (min == max) scores 1 when met.
+double AxisUtility(double delivered, double min_value, double max_value);
+
+/// Satisfaction in [0, 1] of presenting `delivered` against the
+/// acceptable window `requested`: the weighted mean of the per-axis
+/// utilities. Values outside the window clamp to the window edges (the
+/// planner never delivers out of range; renegotiated windows are
+/// re-scored against the relaxed range).
+double PresentationUtility(const media::AppQos& delivered,
+                           const media::AppQosRange& requested,
+                           const UtilityWeights& weights = {});
+
+/// Gain function for the Runtime Cost Evaluator under the
+/// user-satisfaction goal: gain in [0.1, 1.0] so cost efficiency stays
+/// finite and throughput still matters as a tie-breaker.
+RuntimeCostEvaluator::GainFunction MakeSatisfactionGain(
+    media::AppQosRange requested, UtilityWeights weights = {});
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_UTILITY_H_

@@ -1,0 +1,62 @@
+#ifndef QUASAQ_MEDIA_LIBRARY_H_
+#define QUASAQ_MEDIA_LIBRARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "media/video.h"
+
+// Synthetic video library builder — the stand-in for the prototype's
+// experimental database of 15 MPEG-1 videos (playback 30 s – 18 min)
+// with 3–4 offline-transcoded replicas per video, fully replicated on
+// every server (paper §5, "Experimental setup"). The quality ladder is
+// chosen so replica bitrates fit typical 2004 link classes (T1/LAN,
+// DSL, modem), as the prototype did with VideoMach.
+
+namespace quasaq::media {
+
+// The offline replica quality ladder, best first.
+struct QualityLadder {
+  std::vector<AppQos> levels;
+
+  /// The prototype's 4-level ladder: DVD-class MPEG-2, VCD-class MPEG-1,
+  /// low-rate SIF MPEG-1, and a modem-class QCIF MPEG-1.
+  static QualityLadder Standard();
+};
+
+struct LibraryOptions {
+  int num_videos = 15;
+  double min_duration_seconds = 30.0;
+  double max_duration_seconds = 18.0 * 60.0;
+  // Number of ladder levels materialized per video is drawn uniformly
+  // from [min_replica_levels, max_replica_levels] (always starting from
+  // the top level, which matches the master quality).
+  int min_replica_levels = 3;
+  int max_replica_levels = 4;
+  uint64_t seed = 2004;
+};
+
+// The full content + replica catalog of an experiment.
+struct VideoLibrary {
+  std::vector<VideoContent> contents;
+  std::vector<ReplicaInfo> replicas;
+
+  /// Returns all replicas of `content` (across all sites).
+  std::vector<const ReplicaInfo*> ReplicasOf(LogicalOid content) const;
+
+  /// Returns the replica with physical OID `id`, or nullptr.
+  const ReplicaInfo* FindReplica(PhysicalOid id) const;
+};
+
+/// Builds a library with `options.num_videos` logical objects whose
+/// replicas are fully replicated on every site in `sites`. Titles,
+/// keywords, features and durations are generated deterministically from
+/// `options.seed`.
+VideoLibrary BuildExperimentLibrary(const LibraryOptions& options,
+                                    const std::vector<SiteId>& sites);
+
+}  // namespace quasaq::media
+
+#endif  // QUASAQ_MEDIA_LIBRARY_H_

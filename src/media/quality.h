@@ -1,0 +1,124 @@
+#ifndef QUASAQ_MEDIA_QUALITY_H_
+#define QUASAQ_MEDIA_QUALITY_H_
+
+#include <cstdint>
+#include <string>
+
+// Application-level QoS description of a video object (paper Table 1 /
+// §3.3 "Quality Metadata"): spatial resolution, color depth, temporal
+// resolution (frame rate) and file format. These are the quantitative
+// parameters that user-level QoP inputs are translated into, and that
+// each stored replica is labelled with.
+
+namespace quasaq::media {
+
+// Compression format of a stored or delivered stream.
+enum class VideoFormat {
+  kMpeg1 = 0,
+  kMpeg2,
+};
+
+inline constexpr int kNumVideoFormats = 2;
+
+/// Returns "MPEG1" / "MPEG2".
+std::string_view VideoFormatName(VideoFormat format);
+
+// Spatial resolution in pixels.
+struct Resolution {
+  int width = 0;
+  int height = 0;
+
+  int64_t PixelCount() const {
+    return static_cast<int64_t>(width) * height;
+  }
+
+  friend bool operator==(const Resolution& a, const Resolution& b) = default;
+
+  /// Orders by pixel count (the planner treats resolution as the scalar
+  /// "spatial resolution" axis of the QoS space).
+  friend bool operator<(const Resolution& a, const Resolution& b) {
+    return a.PixelCount() < b.PixelCount();
+  }
+};
+
+/// Renders "720x480".
+std::string ResolutionToString(const Resolution& r);
+
+// Audio track quality (paper Table 1 / §3.2 lists audio quality among
+// the key QoP parameters; "CD quality audio" is the intro's example of
+// a qualitative user input). Levels order by fidelity.
+enum class AudioQuality {
+  kNone = 0,   // video-only object
+  kPhone,      // speech-grade mono
+  kFm,         // FM-radio grade
+  kCd,         // CD-quality stereo
+};
+
+inline constexpr int kNumAudioQualities = 4;
+
+/// Returns "none" / "phone" / "fm" / "cd".
+std::string_view AudioQualityName(AudioQuality audio);
+
+/// Compressed bitrate of the audio track in KB/s (0 for kNone).
+double AudioBitrateKBps(AudioQuality audio);
+
+// Well-known resolutions used by the replica ladder and QoP mappings.
+inline constexpr Resolution kResolutionDvd{720, 480};
+inline constexpr Resolution kResolutionSvcd{480, 480};
+inline constexpr Resolution kResolutionVcd{352, 288};
+inline constexpr Resolution kResolutionSif{320, 240};
+inline constexpr Resolution kResolutionQcif{176, 144};
+
+// The application QoS of one concrete stream or replica.
+struct AppQos {
+  Resolution resolution;
+  int color_depth_bits = 24;  // 12 or 24 in the prototype's ladder
+  double frame_rate = 23.97;  // frames per second
+  VideoFormat format = VideoFormat::kMpeg1;
+  AudioQuality audio = AudioQuality::kCd;
+
+  friend bool operator==(const AppQos& a, const AppQos& b) = default;
+};
+
+/// Renders e.g. "352x288/24bit/23.97fps/MPEG1".
+std::string AppQosToString(const AppQos& qos);
+
+// A closed range over the application QoS space: what a translated user
+// query is willing to accept. Formats are accepted via a bitmask so a
+// query can accept several.
+struct AppQosRange {
+  Resolution min_resolution = kResolutionQcif;
+  Resolution max_resolution = kResolutionDvd;
+  int min_color_depth_bits = 12;
+  int max_color_depth_bits = 24;
+  double min_frame_rate = 5.0;
+  double max_frame_rate = 60.0;
+  uint32_t accepted_formats = 0x3;  // bit i set => VideoFormat(i) accepted
+  AudioQuality min_audio = AudioQuality::kNone;
+  AudioQuality max_audio = AudioQuality::kCd;
+
+  /// True when `qos` lies inside every axis of the range.
+  bool Contains(const AppQos& qos) const;
+
+  /// True when the format bit for `format` is set.
+  bool AcceptsFormat(VideoFormat format) const;
+
+  /// Renders a compact human-readable description.
+  std::string ToString() const;
+};
+
+/// Estimated compressed bitrate in KB/s for a stream with quality `qos`:
+/// the video component (pixel-rate x bits-per-pixel, with MPEG-2 assumed
+/// ~25% more efficient per pixel and color depth scaling linearly from
+/// the 24-bit baseline) plus the audio track. Calibrated so the
+/// prototype's ladder spans typical 2004 links: DVD-quality MPEG-2
+/// ~300 KB/s (T1/LAN), VCD ~100 KB/s (DSL), thumbnail ~12 KB/s
+/// (modem-ish).
+double EstimateBitrateKBps(const AppQos& qos);
+
+/// The video component only (no audio track).
+double EstimateVideoBitrateKBps(const AppQos& qos);
+
+}  // namespace quasaq::media
+
+#endif  // QUASAQ_MEDIA_QUALITY_H_

@@ -1,0 +1,10 @@
+#include "media/video.h"
+
+namespace quasaq::media {
+
+void FinalizeReplicaSizing(ReplicaInfo& replica) {
+  replica.bitrate_kbps = EstimateBitrateKBps(replica.qos);
+  replica.size_kb = replica.bitrate_kbps * replica.duration_seconds;
+}
+
+}  // namespace quasaq::media

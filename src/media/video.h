@@ -1,0 +1,52 @@
+#ifndef QUASAQ_MEDIA_VIDEO_H_
+#define QUASAQ_MEDIA_VIDEO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "media/quality.h"
+
+// Logical vs. physical video objects. In QuaSAQ an OID returned by the
+// content query refers to video *content* (logical OID); the same content
+// is materialized as several replicas with distinct application QoS and
+// locations (physical OIDs). The logical->physical mapping lives in the
+// distribution metadata (metadata/).
+
+namespace quasaq::media {
+
+// One logical media object: the content users query for.
+struct VideoContent {
+  LogicalOid id;
+  std::string title;
+  // Semantic descriptors extracted at insertion time (shot detection,
+  // segmentation, annotations); we model them as keywords.
+  std::vector<std::string> keywords;
+  // Visual feature vector (e.g. color histogram) for similarity search.
+  std::vector<double> features;
+  double duration_seconds = 0.0;
+  // Quality of the raw/master recording; replicas never exceed it.
+  AppQos master_quality;
+};
+
+// One physical replica of a logical object stored at a site.
+struct ReplicaInfo {
+  PhysicalOid id;
+  LogicalOid content;
+  SiteId site;
+  AppQos qos;
+  double duration_seconds = 0.0;
+  double bitrate_kbps = 0.0;  // average compressed bitrate, KB/s
+  double size_kb = 0.0;       // total object size, KB
+  // Seed for the replica's deterministic VBR frame-size sequence.
+  uint64_t frame_seed = 0;
+};
+
+/// Fills the derived fields (`bitrate_kbps`, `size_kb`) of `replica`
+/// from its qos and duration using EstimateBitrateKBps().
+void FinalizeReplicaSizing(ReplicaInfo& replica);
+
+}  // namespace quasaq::media
+
+#endif  // QUASAQ_MEDIA_VIDEO_H_

@@ -1,0 +1,214 @@
+#include "metadata/distributed_engine.h"
+
+#include <cassert>
+
+namespace quasaq::meta {
+
+DistributedMetadataEngine::DistributedMetadataEngine(std::vector<SiteId> sites,
+                                                     const Options& options)
+    : sites_(std::move(sites)), options_(options) {
+  assert(!sites_.empty());
+  stores_.resize(sites_.size());
+  caches_.resize(sites_.size());
+  stats_.resize(sites_.size());
+}
+
+size_t DistributedMetadataEngine::SiteIndex(SiteId site) const {
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i] == site) return i;
+  }
+  assert(false && "unknown site");
+  return 0;
+}
+
+SiteId DistributedMetadataEngine::OwnerOf(LogicalOid id) const {
+  return sites_[static_cast<size_t>(id.value()) % sites_.size()];
+}
+
+MetadataStore& DistributedMetadataEngine::OwnerStore(LogicalOid id) {
+  return stores_[SiteIndex(OwnerOf(id))];
+}
+
+Status DistributedMetadataEngine::InsertContent(
+    const media::VideoContent& content) {
+  Status status = OwnerStore(content.id).InsertContent(content);
+  if (status.ok()) InvalidateCaches(content.id);
+  return status;
+}
+
+Status DistributedMetadataEngine::InsertReplica(
+    const media::ReplicaInfo& replica) {
+  Status status = OwnerStore(replica.content).InsertReplica(replica);
+  if (status.ok()) {
+    physical_to_logical_[replica.id] = replica.content;
+    InvalidateCaches(replica.content);
+  }
+  return status;
+}
+
+Status DistributedMetadataEngine::SetQosProfile(PhysicalOid id,
+                                                const QosProfile& profile) {
+  auto it = physical_to_logical_.find(id);
+  if (it == physical_to_logical_.end()) {
+    return Status::NotFound("unknown physical OID");
+  }
+  Status status = OwnerStore(it->second).SetQosProfile(id, profile);
+  if (status.ok()) InvalidateCaches(it->second);
+  return status;
+}
+
+Status DistributedMetadataEngine::EraseReplica(PhysicalOid id) {
+  auto it = physical_to_logical_.find(id);
+  if (it == physical_to_logical_.end()) {
+    return Status::NotFound("unknown physical OID");
+  }
+  LogicalOid content = it->second;
+  Status status = OwnerStore(content).EraseReplica(id);
+  if (status.ok()) {
+    physical_to_logical_.erase(it);
+    InvalidateCaches(content);
+  }
+  return status;
+}
+
+Status DistributedMetadataEngine::EraseContent(LogicalOid id) {
+  MetadataStore& store = OwnerStore(id);
+  // Collect the replicas first so the physical index can be pruned.
+  std::vector<PhysicalOid> replicas;
+  for (const media::ReplicaInfo* replica : store.ReplicasOf(id)) {
+    replicas.push_back(replica->id);
+  }
+  Status status = store.EraseContent(id);
+  if (!status.ok()) return status;
+  for (PhysicalOid replica : replicas) {
+    physical_to_logical_.erase(replica);
+  }
+  InvalidateCaches(id);
+  return Status::Ok();
+}
+
+MetadataBundle DistributedMetadataEngine::BuildBundle(
+    const MetadataStore& store, LogicalOid id) const {
+  MetadataBundle bundle;
+  const media::VideoContent* content = store.FindContent(id);
+  assert(content != nullptr);
+  bundle.content = *content;
+  for (const media::ReplicaInfo* replica : store.ReplicasOf(id)) {
+    bundle.replicas.push_back(*replica);
+    if (const QosProfile* profile = store.FindQosProfile(replica->id)) {
+      bundle.profiles.emplace_back(replica->id, *profile);
+    }
+  }
+  return bundle;
+}
+
+const MetadataBundle* DistributedMetadataEngine::FetchBundle(
+    SiteId from, LogicalOid id, SimTime* latency) {
+  size_t from_index = SiteIndex(from);
+  AccessStats& stats = stats_[from_index];
+  SiteId owner = OwnerOf(id);
+
+  if (owner == from) {
+    MetadataStore& store = stores_[from_index];
+    if (store.FindContent(id) == nullptr) return nullptr;
+    ++stats.local_accesses;
+    if (latency != nullptr) *latency += options_.local_access_latency;
+    // Local bundles are served through the cache slot as well so callers
+    // get one stable pointer type; they are never evicted remotely.
+    SiteCache& cache = caches_[from_index];
+    auto it = cache.entries.find(id);
+    if (it != cache.entries.end()) cache.entries.erase(it);
+    cache.order.remove(id);
+    cache.order.push_front(id);
+    auto [ins, ok] = cache.entries.emplace(
+        id, std::make_pair(cache.order.begin(), BuildBundle(store, id)));
+    (void)ok;
+    return &ins->second.second;
+  }
+
+  SiteCache& cache = caches_[from_index];
+  if (auto it = cache.entries.find(id); it != cache.entries.end()) {
+    ++stats.cache_hits;
+    if (latency != nullptr) *latency += options_.local_access_latency;
+    cache.order.erase(it->second.first);
+    cache.order.push_front(id);
+    it->second.first = cache.order.begin();
+    return &it->second.second;
+  }
+
+  // Remote fetch from the owner's store.
+  MetadataStore& owner_store = stores_[SiteIndex(owner)];
+  if (owner_store.FindContent(id) == nullptr) return nullptr;
+  ++stats.remote_accesses;
+  if (latency != nullptr) *latency += options_.remote_access_latency;
+  if (options_.cache_capacity == 0) {
+    // Caching disabled: keep a single scratch slot that every remote
+    // access overwrites.
+    cache.order.clear();
+    cache.entries.clear();
+  }
+  while (cache.entries.size() >=
+         std::max<size_t>(1, options_.cache_capacity)) {
+    LogicalOid victim = cache.order.back();
+    cache.order.pop_back();
+    cache.entries.erase(victim);
+  }
+  cache.order.push_front(id);
+  auto [ins, ok] = cache.entries.emplace(
+      id, std::make_pair(cache.order.begin(), BuildBundle(owner_store, id)));
+  (void)ok;
+  return &ins->second.second;
+}
+
+std::optional<media::VideoContent> DistributedMetadataEngine::FindContent(
+    SiteId from, LogicalOid id, SimTime* latency) {
+  const MetadataBundle* bundle = FetchBundle(from, id, latency);
+  if (bundle == nullptr) return std::nullopt;
+  return bundle->content;
+}
+
+std::vector<media::ReplicaInfo> DistributedMetadataEngine::ReplicasOf(
+    SiteId from, LogicalOid id, SimTime* latency) {
+  const MetadataBundle* bundle = FetchBundle(from, id, latency);
+  if (bundle == nullptr) return {};
+  return bundle->replicas;
+}
+
+std::optional<QosProfile> DistributedMetadataEngine::FindQosProfile(
+    SiteId from, PhysicalOid id, SimTime* latency) {
+  auto it = physical_to_logical_.find(id);
+  if (it == physical_to_logical_.end()) return std::nullopt;
+  const MetadataBundle* bundle = FetchBundle(from, it->second, latency);
+  if (bundle == nullptr) return std::nullopt;
+  for (const auto& [oid, profile] : bundle->profiles) {
+    if (oid == id) return profile;
+  }
+  return std::nullopt;
+}
+
+std::vector<LogicalOid> DistributedMetadataEngine::AllContentIds() const {
+  std::vector<LogicalOid> out;
+  for (const MetadataStore& store : stores_) {
+    for (const media::VideoContent* content : store.AllContents()) {
+      out.push_back(content->id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const DistributedMetadataEngine::AccessStats&
+DistributedMetadataEngine::stats_for(SiteId site) const {
+  return stats_[SiteIndex(site)];
+}
+
+void DistributedMetadataEngine::InvalidateCaches(LogicalOid id) {
+  for (SiteCache& cache : caches_) {
+    auto it = cache.entries.find(id);
+    if (it == cache.entries.end()) continue;
+    cache.order.erase(it->second.first);
+    cache.entries.erase(it);
+  }
+}
+
+}  // namespace quasaq::meta

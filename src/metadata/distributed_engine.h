@@ -1,0 +1,111 @@
+#ifndef QUASAQ_METADATA_DISTRIBUTED_ENGINE_H_
+#define QUASAQ_METADATA_DISTRIBUTED_ENGINE_H_
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "metadata/metadata_store.h"
+
+// Distributed Metadata Engine (paper §3.3): metadata is partitioned
+// across sites by logical OID ("distributed in various locations
+// enabling ease of use and migration") and non-local accesses are
+// accelerated by a per-site LRU cache of metadata bundles. Accesses
+// report a simulated latency so callers can charge metadata I/O to the
+// plan-generation path.
+
+namespace quasaq::meta {
+
+// All metadata of one logical object, copied as a unit between sites.
+struct MetadataBundle {
+  media::VideoContent content;
+  std::vector<media::ReplicaInfo> replicas;
+  std::vector<std::pair<PhysicalOid, QosProfile>> profiles;
+};
+
+class DistributedMetadataEngine {
+ public:
+  struct Options {
+    // Cached remote bundles per site; 0 disables caching.
+    size_t cache_capacity = 256;
+    SimTime local_access_latency = 50 * kMicrosecond;
+    SimTime remote_access_latency = 2 * kMillisecond;
+  };
+
+  struct AccessStats {
+    uint64_t local_accesses = 0;
+    uint64_t cache_hits = 0;
+    uint64_t remote_accesses = 0;
+  };
+
+  DistributedMetadataEngine(std::vector<SiteId> sites,
+                            const Options& options);
+
+  // --- Population (routed to the owning site's store) ----------------
+
+  Status InsertContent(const media::VideoContent& content);
+  Status InsertReplica(const media::ReplicaInfo& replica);
+  Status SetQosProfile(PhysicalOid id, const QosProfile& profile);
+
+  /// Unregisters a replica (e.g. after eviction/migration); cached
+  /// copies at every site are invalidated.
+  Status EraseReplica(PhysicalOid id);
+
+  /// Unregisters a logical object, cascading to its replicas and
+  /// profiles; cached copies at every site are invalidated.
+  Status EraseContent(LogicalOid id);
+
+  // --- Access from a site ---------------------------------------------
+  // Each accessor simulates the lookup as seen from `from`: a local read
+  // when the metadata is owned there, a cache hit, or a remote fetch
+  // that populates the cache. When `latency` is non-null the simulated
+  // access latency is added to it.
+
+  std::optional<media::VideoContent> FindContent(SiteId from, LogicalOid id,
+                                                 SimTime* latency = nullptr);
+  std::vector<media::ReplicaInfo> ReplicasOf(SiteId from, LogicalOid id,
+                                             SimTime* latency = nullptr);
+  std::optional<QosProfile> FindQosProfile(SiteId from, PhysicalOid id,
+                                           SimTime* latency = nullptr);
+
+  /// Returns every registered logical OID (union over sites).
+  std::vector<LogicalOid> AllContentIds() const;
+
+  /// Returns the site owning the metadata of `id`.
+  SiteId OwnerOf(LogicalOid id) const;
+
+  const AccessStats& stats_for(SiteId site) const;
+
+ private:
+  struct SiteCache {
+    // LRU over logical OIDs; front = most recent.
+    std::list<LogicalOid> order;
+    std::unordered_map<LogicalOid,
+                       std::pair<std::list<LogicalOid>::iterator,
+                                 MetadataBundle>>
+        entries;
+  };
+
+  size_t SiteIndex(SiteId site) const;
+  MetadataStore& OwnerStore(LogicalOid id);
+  // Fetches the bundle as seen from `from`, tracking stats and latency.
+  const MetadataBundle* FetchBundle(SiteId from, LogicalOid id,
+                                    SimTime* latency);
+  MetadataBundle BuildBundle(const MetadataStore& store, LogicalOid id) const;
+  void InvalidateCaches(LogicalOid id);
+
+  std::vector<SiteId> sites_;
+  Options options_;
+  std::vector<MetadataStore> stores_;   // one per site
+  std::vector<SiteCache> caches_;       // one per site
+  std::vector<AccessStats> stats_;      // one per site
+  std::unordered_map<PhysicalOid, LogicalOid> physical_to_logical_;
+};
+
+}  // namespace quasaq::meta
+
+#endif  // QUASAQ_METADATA_DISTRIBUTED_ENGINE_H_

@@ -1,0 +1,99 @@
+#include "metadata/metadata_store.h"
+
+#include <algorithm>
+
+namespace quasaq::meta {
+
+Status MetadataStore::InsertContent(const media::VideoContent& content) {
+  if (!content.id.valid()) {
+    return Status::InvalidArgument("invalid logical OID");
+  }
+  auto [it, inserted] = contents_.emplace(content.id, content);
+  if (!inserted) return Status::AlreadyExists("logical OID already present");
+  return Status::Ok();
+}
+
+Status MetadataStore::InsertReplica(const media::ReplicaInfo& replica) {
+  if (!replica.id.valid()) {
+    return Status::InvalidArgument("invalid physical OID");
+  }
+  if (contents_.count(replica.content) == 0) {
+    return Status::FailedPrecondition("logical object not registered");
+  }
+  auto [it, inserted] = replicas_.emplace(replica.id, replica);
+  if (!inserted) return Status::AlreadyExists("physical OID already present");
+  replica_index_[replica.content].push_back(replica.id);
+  return Status::Ok();
+}
+
+Status MetadataStore::SetQosProfile(PhysicalOid id, const QosProfile& profile) {
+  if (replicas_.count(id) == 0) {
+    return Status::NotFound("no such replica");
+  }
+  profiles_[id] = profile;
+  return Status::Ok();
+}
+
+Status MetadataStore::EraseReplica(PhysicalOid id) {
+  auto it = replicas_.find(id);
+  if (it == replicas_.end()) return Status::NotFound("no such replica");
+  auto& index = replica_index_[it->second.content];
+  index.erase(std::remove(index.begin(), index.end(), id), index.end());
+  profiles_.erase(id);
+  replicas_.erase(it);
+  return Status::Ok();
+}
+
+Status MetadataStore::EraseContent(LogicalOid id) {
+  auto it = contents_.find(id);
+  if (it == contents_.end()) return Status::NotFound("no such content");
+  auto index_it = replica_index_.find(id);
+  if (index_it != replica_index_.end()) {
+    for (PhysicalOid replica : index_it->second) {
+      profiles_.erase(replica);
+      replicas_.erase(replica);
+    }
+    replica_index_.erase(index_it);
+  }
+  contents_.erase(it);
+  return Status::Ok();
+}
+
+const media::VideoContent* MetadataStore::FindContent(LogicalOid id) const {
+  auto it = contents_.find(id);
+  return it == contents_.end() ? nullptr : &it->second;
+}
+
+const media::ReplicaInfo* MetadataStore::FindReplica(PhysicalOid id) const {
+  auto it = replicas_.find(id);
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+const QosProfile* MetadataStore::FindQosProfile(PhysicalOid id) const {
+  auto it = profiles_.find(id);
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+std::vector<const media::ReplicaInfo*> MetadataStore::ReplicasOf(
+    LogicalOid content) const {
+  std::vector<const media::ReplicaInfo*> out;
+  auto it = replica_index_.find(content);
+  if (it == replica_index_.end()) return out;
+  std::vector<PhysicalOid> ids = it->second;
+  std::sort(ids.begin(), ids.end());
+  for (PhysicalOid id : ids) out.push_back(&replicas_.at(id));
+  return out;
+}
+
+std::vector<const media::VideoContent*> MetadataStore::AllContents() const {
+  std::vector<const media::VideoContent*> out;
+  out.reserve(contents_.size());
+  for (const auto& [id, content] : contents_) out.push_back(&content);
+  std::sort(out.begin(), out.end(),
+            [](const media::VideoContent* a, const media::VideoContent* b) {
+              return a->id < b->id;
+            });
+  return out;
+}
+
+}  // namespace quasaq::meta

@@ -1,0 +1,59 @@
+#ifndef QUASAQ_METADATA_METADATA_STORE_H_
+#define QUASAQ_METADATA_METADATA_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "media/video.h"
+#include "metadata/qos_profile.h"
+
+// Single-site metadata store holding the four metadata classes of
+// §3.3: content metadata (VideoContent), quality metadata (the AppQos
+// inside each ReplicaInfo), distribution metadata (logical->physical
+// mapping with sites), and QoS profiles.
+
+namespace quasaq::meta {
+
+class MetadataStore {
+ public:
+  /// Registers a logical object. Fails on duplicate logical OID.
+  Status InsertContent(const media::VideoContent& content);
+
+  /// Registers one replica (distribution + quality metadata). The
+  /// logical object must already be registered.
+  Status InsertReplica(const media::ReplicaInfo& replica);
+
+  /// Records the sampled delivery profile of a replica.
+  Status SetQosProfile(PhysicalOid id, const QosProfile& profile);
+
+  /// Drops a replica's distribution metadata (e.g. after migration).
+  Status EraseReplica(PhysicalOid id);
+
+  /// Drops a logical object and cascades to its replicas and profiles.
+  Status EraseContent(LogicalOid id);
+
+  const media::VideoContent* FindContent(LogicalOid id) const;
+  const media::ReplicaInfo* FindReplica(PhysicalOid id) const;
+  const QosProfile* FindQosProfile(PhysicalOid id) const;
+
+  /// Returns all replicas of `content`, in physical-OID order.
+  std::vector<const media::ReplicaInfo*> ReplicasOf(LogicalOid content) const;
+
+  /// Returns all registered logical objects, in logical-OID order.
+  std::vector<const media::VideoContent*> AllContents() const;
+
+  size_t content_count() const { return contents_.size(); }
+  size_t replica_count() const { return replicas_.size(); }
+
+ private:
+  std::unordered_map<LogicalOid, media::VideoContent> contents_;
+  std::unordered_map<PhysicalOid, media::ReplicaInfo> replicas_;
+  std::unordered_map<LogicalOid, std::vector<PhysicalOid>> replica_index_;
+  std::unordered_map<PhysicalOid, QosProfile> profiles_;
+};
+
+}  // namespace quasaq::meta
+
+#endif  // QUASAQ_METADATA_METADATA_STORE_H_

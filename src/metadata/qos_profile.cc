@@ -1,0 +1,36 @@
+#include "metadata/qos_profile.h"
+
+#include <cstdio>
+
+namespace quasaq::meta {
+
+std::string QosProfile::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "{cpu: %.4f, net: %.1f KB/s, disk: %.1f KB/s, mem: %.0f KB}",
+                cpu_fraction, net_kbps, disk_kbps, memory_kb);
+  return std::string(buf);
+}
+
+QosSampler::QosSampler(const Options& options, uint64_t seed)
+    : options_(options), rng_(seed) {}
+
+double QosSampler::Noise() {
+  if (options_.measurement_noise_sd <= 0.0) return 1.0;
+  return rng_.ClampedNormal(1.0, options_.measurement_noise_sd, 0.5, 1.5);
+}
+
+QosProfile QosSampler::SampleStreaming(const media::ReplicaInfo& replica) {
+  QosProfile profile;
+  const double mean_frame_kb =
+      replica.bitrate_kbps / replica.qos.frame_rate;
+  const double cpu_ms_per_second =
+      options_.streaming_cost.FrameMs(mean_frame_kb) * replica.qos.frame_rate;
+  profile.cpu_fraction = cpu_ms_per_second / 1000.0 * Noise();
+  profile.net_kbps = replica.bitrate_kbps * Noise();
+  profile.disk_kbps = replica.bitrate_kbps * Noise();
+  profile.memory_kb = replica.bitrate_kbps * options_.buffer_seconds;
+  return profile;
+}
+
+}  // namespace quasaq::meta

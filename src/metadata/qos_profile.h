@@ -1,0 +1,58 @@
+#ifndef QUASAQ_METADATA_QOS_PROFILE_H_
+#define QUASAQ_METADATA_QOS_PROFILE_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "media/activities.h"
+#include "media/video.h"
+
+// QoS profiles (paper §3.3): the resource-consumption pattern of
+// delivering one physical media object, obtained offline by the QoS
+// sampler and stored as metadata. Profiles are the basis for cost
+// estimation of QoS-aware plans.
+
+namespace quasaq::meta {
+
+// Resources consumed while streaming one replica, per concurrent
+// session, expressed in the units of the resource buckets.
+struct QosProfile {
+  double cpu_fraction = 0.0;  // fraction of one server CPU
+  double net_kbps = 0.0;      // outbound network bandwidth
+  double disk_kbps = 0.0;     // sequential disk read bandwidth
+  double memory_kb = 0.0;     // staging buffers
+
+  std::string ToString() const;
+};
+
+// Offline QoS-mapping component ("QoS sampling" in Fig. 1): derives a
+// replica's QoS profile from its quality metadata and the Transport API
+// cost model. An optional measurement-noise term models the fact that
+// the prototype obtained profiles by running sample deliveries.
+class QosSampler {
+ public:
+  struct Options {
+    media::StreamingCpuCost streaming_cost;
+    // Relative sd of multiplicative measurement noise; 0 = analytic.
+    double measurement_noise_sd = 0.0;
+    // Buffer sized to hold this many seconds of stream.
+    double buffer_seconds = 2.0;
+  };
+
+  QosSampler() : QosSampler(Options(), 0) {}
+  QosSampler(const Options& options, uint64_t seed);
+
+  /// Samples the delivery profile of `replica` streamed as stored
+  /// (no extra server activities).
+  QosProfile SampleStreaming(const media::ReplicaInfo& replica);
+
+ private:
+  double Noise();
+
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace quasaq::meta
+
+#endif  // QUASAQ_METADATA_QOS_PROFILE_H_

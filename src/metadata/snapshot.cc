@@ -1,0 +1,187 @@
+#include "metadata/snapshot.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace quasaq::meta {
+
+namespace {
+
+void AppendQos(std::ostringstream& out, const media::AppQos& qos) {
+  out << qos.resolution.width << ',' << qos.resolution.height << ','
+      << qos.color_depth_bits << ',';
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", qos.frame_rate);
+  out << buf << ',' << static_cast<int>(qos.format) << ','
+      << static_cast<int>(qos.audio);
+}
+
+std::vector<std::string> SplitLine(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t end = line.find(sep, start);
+    if (end == std::string_view::npos) end = line.size();
+    fields.emplace_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return fields;
+}
+
+Status BadLine(size_t line_number, const std::string& why) {
+  return Status::InvalidArgument("catalog line " +
+                                 std::to_string(line_number) + ": " + why);
+}
+
+// Parses the 6 AppQos fields starting at `fields[at]`.
+Result<media::AppQos> ParseQosFields(const std::vector<std::string>& fields,
+                                     size_t at) {
+  media::AppQos qos;
+  qos.resolution.width = std::atoi(fields[at].c_str());
+  qos.resolution.height = std::atoi(fields[at + 1].c_str());
+  qos.color_depth_bits = std::atoi(fields[at + 2].c_str());
+  qos.frame_rate = std::atof(fields[at + 3].c_str());
+  int format = std::atoi(fields[at + 4].c_str());
+  int audio = std::atoi(fields[at + 5].c_str());
+  if (qos.resolution.width <= 0 || qos.resolution.height <= 0 ||
+      qos.color_depth_bits <= 0 || qos.frame_rate <= 0.0 || format < 0 ||
+      format >= media::kNumVideoFormats || audio < 0 ||
+      audio >= media::kNumAudioQualities) {
+    return Status::InvalidArgument("bad quality fields");
+  }
+  qos.format = static_cast<media::VideoFormat>(format);
+  qos.audio = static_cast<media::AudioQuality>(audio);
+  return qos;
+}
+
+}  // namespace
+
+std::string SerializeCatalog(DistributedMetadataEngine& engine) {
+  std::ostringstream out;
+  out << "# quasaq catalog v1\n";
+  for (LogicalOid oid : engine.AllContentIds()) {
+    SiteId owner = engine.OwnerOf(oid);
+    auto content = engine.FindContent(owner, oid);
+    if (!content.has_value()) continue;
+    out << "content," << oid.value() << ',' << content->title << ',';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", content->duration_seconds);
+    out << buf << ',';
+    for (size_t i = 0; i < content->keywords.size(); ++i) {
+      if (i > 0) out << ';';
+      out << content->keywords[i];
+    }
+    out << ',';
+    for (size_t i = 0; i < content->features.size(); ++i) {
+      if (i > 0) out << ';';
+      std::snprintf(buf, sizeof(buf), "%.10g", content->features[i]);
+      out << buf;
+    }
+    out << ',';
+    AppendQos(out, content->master_quality);
+    out << '\n';
+
+    for (const media::ReplicaInfo& replica : engine.ReplicasOf(owner, oid)) {
+      out << "replica," << replica.id.value() << ',' << oid.value() << ','
+          << replica.site.value() << ',';
+      AppendQos(out, replica.qos);
+      std::snprintf(buf, sizeof(buf), "%.10g", replica.duration_seconds);
+      out << ',' << buf << ',' << replica.frame_seed << '\n';
+
+      auto profile = engine.FindQosProfile(owner, replica.id);
+      if (profile.has_value()) {
+        out << "profile," << replica.id.value();
+        for (double v : {profile->cpu_fraction, profile->net_kbps,
+                         profile->disk_kbps, profile->memory_kb}) {
+          std::snprintf(buf, sizeof(buf), "%.10g", v);
+          out << ',' << buf;
+        }
+        out << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+Status LoadCatalog(std::string_view snapshot,
+                   DistributedMetadataEngine* engine) {
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= snapshot.size()) {
+    size_t end = snapshot.find('\n', start);
+    if (end == std::string_view::npos) end = snapshot.size();
+    std::string_view line = snapshot.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> fields = SplitLine(line, ',');
+
+    if (fields[0] == "content") {
+      if (fields.size() != 12) {
+        return BadLine(line_number, "content record needs 12 fields");
+      }
+      media::VideoContent content;
+      content.id = LogicalOid(std::atoll(fields[1].c_str()));
+      content.title = fields[2];
+      content.duration_seconds = std::atof(fields[3].c_str());
+      for (const std::string& keyword : SplitLine(fields[4], ';')) {
+        if (!keyword.empty()) content.keywords.push_back(keyword);
+      }
+      for (const std::string& feature : SplitLine(fields[5], ';')) {
+        if (!feature.empty()) {
+          content.features.push_back(std::atof(feature.c_str()));
+        }
+      }
+      Result<media::AppQos> qos = ParseQosFields(fields, 6);
+      if (!qos.ok()) return BadLine(line_number, qos.status().message());
+      content.master_quality = *qos;
+      if (!content.id.valid() || content.duration_seconds <= 0.0) {
+        return BadLine(line_number, "bad content id/duration");
+      }
+      Status status = engine->InsertContent(content);
+      if (!status.ok()) return BadLine(line_number, status.message());
+    } else if (fields[0] == "replica") {
+      if (fields.size() != 12) {
+        return BadLine(line_number, "replica record needs 12 fields");
+      }
+      media::ReplicaInfo replica;
+      replica.id = PhysicalOid(std::atoll(fields[1].c_str()));
+      replica.content = LogicalOid(std::atoll(fields[2].c_str()));
+      replica.site = SiteId(std::atoll(fields[3].c_str()));
+      Result<media::AppQos> qos = ParseQosFields(fields, 4);
+      if (!qos.ok()) return BadLine(line_number, qos.status().message());
+      replica.qos = *qos;
+      replica.duration_seconds = std::atof(fields[10].c_str());
+      replica.frame_seed =
+          static_cast<uint64_t>(std::strtoull(fields[11].c_str(),
+                                              nullptr, 10));
+      if (!replica.id.valid() || !replica.content.valid() ||
+          !replica.site.valid() || replica.duration_seconds <= 0.0) {
+        return BadLine(line_number, "bad replica ids/duration");
+      }
+      media::FinalizeReplicaSizing(replica);
+      Status status = engine->InsertReplica(replica);
+      if (!status.ok()) return BadLine(line_number, status.message());
+    } else if (fields[0] == "profile") {
+      if (fields.size() != 6) {
+        return BadLine(line_number, "profile record needs 6 fields");
+      }
+      QosProfile profile;
+      PhysicalOid oid(std::atoll(fields[1].c_str()));
+      profile.cpu_fraction = std::atof(fields[2].c_str());
+      profile.net_kbps = std::atof(fields[3].c_str());
+      profile.disk_kbps = std::atof(fields[4].c_str());
+      profile.memory_kb = std::atof(fields[5].c_str());
+      Status status = engine->SetQosProfile(oid, profile);
+      if (!status.ok()) return BadLine(line_number, status.message());
+    } else {
+      return BadLine(line_number,
+                     "unknown record type '" + fields[0] + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace quasaq::meta

@@ -1,0 +1,36 @@
+#ifndef QUASAQ_METADATA_SNAPSHOT_H_
+#define QUASAQ_METADATA_SNAPSHOT_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "metadata/distributed_engine.h"
+
+// Catalog snapshots: a textual dump/restore of the distributed metadata
+// engine's content, distribution, quality and QoS-profile catalogs.
+// Lets deployments checkpoint the catalog, move it between clusters,
+// and lets tests assert full round-trip fidelity.
+//
+// Format (one record per line, '#' comments):
+//   content,<oid>,<title>,<duration_s>,<kw1;kw2;...>,<f1;f2;...>,
+//           <w>,<h>,<depth>,<fps>,<format>,<audio>
+//   replica,<poid>,<content_oid>,<site>,<w>,<h>,<depth>,<fps>,<format>,
+//           <audio>,<duration_s>,<frame_seed>
+//   profile,<poid>,<cpu_fraction>,<net_kbps>,<disk_kbps>,<memory_kb>
+
+namespace quasaq::meta {
+
+/// Serializes every catalog entry of `engine`. Titles and keywords must
+/// not contain ',' or ';' (the library generator never produces them).
+std::string SerializeCatalog(DistributedMetadataEngine& engine);
+
+/// Loads a snapshot into `engine` (which should be freshly constructed
+/// with the destination site set). Fails with kInvalidArgument naming
+/// the offending line; on failure the engine may hold a partial load.
+Status LoadCatalog(std::string_view snapshot,
+                   DistributedMetadataEngine* engine);
+
+}  // namespace quasaq::meta
+
+#endif  // QUASAQ_METADATA_SNAPSHOT_H_

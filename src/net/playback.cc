@@ -1,0 +1,52 @@
+#include "net/playback.h"
+
+#include <algorithm>
+
+namespace quasaq::net {
+
+PlaybackReport SimulateClientPlayback(
+    const std::vector<SimTime>& server_frame_times,
+    const PlaybackOptions& options) {
+  PlaybackReport report;
+  report.frames = static_cast<int>(server_frame_times.size());
+  if (server_frame_times.empty()) return report;
+
+  Rng rng(options.jitter_seed);
+  std::vector<SimTime> arrivals;
+  arrivals.reserve(server_frame_times.size());
+  for (SimTime t : server_frame_times) {
+    SimTime jitter = options.max_network_jitter > 0
+                         ? rng.UniformInt(0, options.max_network_jitter)
+                         : 0;
+    arrivals.push_back(t + options.network_delay + jitter);
+  }
+  // Frames may overtake each other only marginally (jitter); the player
+  // consumes them in order, so order the arrival times.
+  std::sort(arrivals.begin(), arrivals.end());
+
+  const SimTime frame_interval =
+      SecondsToSimTime(1.0 / options.frame_rate);
+  SimTime playback_start = arrivals.front() + options.startup_buffer;
+  report.startup_latency = playback_start - server_frame_times.front();
+
+  SimTime shift = 0;  // accumulated rebuffering shift
+  bool in_stall = false;
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    SimTime deadline =
+        playback_start + static_cast<SimTime>(i) * frame_interval + shift;
+    if (arrivals[i] > deadline) {
+      ++report.late_frames;
+      report.total_stall += arrivals[i] - deadline;
+      shift += arrivals[i] - deadline;
+      if (!in_stall) {
+        ++report.underruns;
+        in_stall = true;
+      }
+    } else {
+      in_stall = false;
+    }
+  }
+  return report;
+}
+
+}  // namespace quasaq::net

@@ -1,0 +1,58 @@
+#ifndef QUASAQ_NET_PLAYBACK_H_
+#define QUASAQ_NET_PLAYBACK_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+
+// Client-side playback model. The paper measures server-side inter-frame
+// delays and notes that "data collected on the client side show similar
+// results"; this module closes the loop: given the server-side frame
+// completion times, it models network transit (fixed delay + jitter) and
+// a client that buffers before starting playback, and reports what the
+// viewer experiences — startup latency, late frames, rebuffering stalls.
+
+namespace quasaq::net {
+
+struct PlaybackOptions {
+  double frame_rate = 23.97;
+  // One-way network transit (clients are 2-3 hops from the servers).
+  SimTime network_delay = 30 * kMillisecond;
+  // Uniform jitter in [0, max] added per frame.
+  SimTime max_network_jitter = 5 * kMillisecond;
+  // The client buffers this much media before starting playback.
+  SimTime startup_buffer = 1 * kSecond;
+  uint64_t jitter_seed = 17;
+};
+
+struct PlaybackReport {
+  int frames = 0;
+  // Frames that arrived after their playout deadline.
+  int late_frames = 0;
+  // Contiguous runs of late frames = rebuffering events.
+  int underruns = 0;
+  // Total time playback was frozen waiting for data.
+  SimTime total_stall = 0;
+  // Delay from the first frame leaving the server to playback start.
+  SimTime startup_latency = 0;
+
+  /// Fraction of frames delivered on time, in [0, 1].
+  double OnTimeFraction() const {
+    return frames == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(late_frames) / frames;
+  }
+};
+
+/// Plays out `server_frame_times` (the per-frame server completion
+/// times) at the client. When a frame misses its deadline the player
+/// stalls until the frame arrives and playback resumes shifted by the
+/// stall (the standard rebuffering model).
+PlaybackReport SimulateClientPlayback(
+    const std::vector<SimTime>& server_frame_times,
+    const PlaybackOptions& options);
+
+}  // namespace quasaq::net
+
+#endif  // QUASAQ_NET_PLAYBACK_H_

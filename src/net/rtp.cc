@@ -1,0 +1,251 @@
+#include "net/rtp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace quasaq::net {
+
+media::AppQos StreamTransform::DeliveredQos(
+    const media::ReplicaInfo& replica) const {
+  return transcode_target.value_or(replica.qos);
+}
+
+double StreamWireRateKbps(const media::ReplicaInfo& replica,
+                          const StreamTransform& transform) {
+  media::FrameDropEffect effect = media::ComputeFrameDropEffect(
+      media::GopPattern::StandardFor(replica.qos.format), transform.drop);
+  return media::EstimateBitrateKBps(transform.DeliveredQos(replica)) *
+         effect.bandwidth_factor;
+}
+
+double StreamCpuFraction(const media::ReplicaInfo& replica,
+                         const StreamTransform& transform,
+                         const media::StreamingCpuCost& cost) {
+  media::FrameDropEffect effect = media::ComputeFrameDropEffect(
+      media::GopPattern::StandardFor(replica.qos.format), transform.drop);
+  double source_fps = replica.qos.frame_rate;
+  double delivered_fps = source_fps * effect.frame_rate_factor;
+  double wire_rate = StreamWireRateKbps(replica, transform);
+  double mean_out_kb = delivered_fps > 0.0 ? wire_rate / delivered_fps : 0.0;
+  double transcode_ms_per_second =
+      transform.transcode_target.has_value()
+          ? media::TranscodeCpuMsPerSecond(replica.qos,
+                                           *transform.transcode_target)
+          : 0.0;
+  double ms_per_second =
+      transcode_ms_per_second + cost.FrameMs(mean_out_kb) * delivered_fps +
+      media::EncryptionCpuMsPerKb(transform.encryption) * wire_rate;
+  return ms_per_second / 1000.0;
+}
+
+media::AppQos StreamDeliveredQos(const media::ReplicaInfo& replica,
+                                 const StreamTransform& transform) {
+  media::FrameDropEffect effect = media::ComputeFrameDropEffect(
+      media::GopPattern::StandardFor(replica.qos.format), transform.drop);
+  media::AppQos qos = transform.DeliveredQos(replica);
+  qos.frame_rate *= effect.frame_rate_factor;
+  return qos;
+}
+
+RtpStreamingSession::RtpStreamingSession(sim::Simulator* simulator,
+                                         const media::ReplicaInfo& replica,
+                                         const StreamTransform& transform,
+                                         const RtpSessionOptions& options)
+    : simulator_(simulator),
+      replica_(replica),
+      transform_(transform),
+      options_(options) {
+  assert(simulator_ != nullptr);
+  delivered_qos_ = transform_.DeliveredQos(replica_);
+  if (transform_.transcode_target.has_value()) {
+    output_scale_ = media::EstimateBitrateKBps(delivered_qos_) /
+                    media::EstimateBitrateKBps(replica_.qos);
+    transcode_ms_per_frame_ =
+        media::TranscodeCpuMsPerSecond(replica_.qos, delivered_qos_) /
+        replica_.qos.frame_rate;
+  }
+  media::GopPattern pattern =
+      media::GopPattern::StandardFor(replica_.qos.format);
+  media::FrameDropEffect drop_effect =
+      media::ComputeFrameDropEffect(pattern, transform_.drop);
+  wire_rate_kbps_ = media::EstimateBitrateKBps(delivered_qos_) *
+                    drop_effect.bandwidth_factor;
+  frames_ = std::make_unique<media::FrameSizeGenerator>(
+      pattern, replica_.bitrate_kbps, replica_.qos.frame_rate,
+      replica_.frame_seed, options_.vbr);
+}
+
+RtpStreamingSession::~RtpStreamingSession() { Stop(); }
+
+void RtpStreamingSession::AttachTimeSharing(
+    res::TimeSharingCpuScheduler* scheduler) {
+  assert(scheduler_ == nullptr && "already attached");
+  cpu_task_ = std::make_unique<res::WorkQueueTask>(scheduler);
+  scheduler->AddTask(cpu_task_.get());
+  scheduler_ = scheduler;
+}
+
+Status RtpStreamingSession::AttachReserved(
+    res::ReservationCpuScheduler* scheduler, double cpu_fraction) {
+  assert(scheduler_ == nullptr && "already attached");
+  auto task = std::make_unique<res::WorkQueueTask>(scheduler);
+  Status status = scheduler->AddReservedTask(task.get(), cpu_fraction);
+  if (!status.ok()) return status;
+  cpu_task_ = std::move(task);
+  scheduler_ = scheduler;
+  return Status::Ok();
+}
+
+Status RtpStreamingSession::AttachRelay(
+    res::ReservationCpuScheduler* source_scheduler, double cpu_fraction,
+    SimTime hop_latency) {
+  assert(cpu_task_ != nullptr && "attach the delivery CPU first");
+  assert(relay_task_ == nullptr && "relay already attached");
+  auto task = std::make_unique<res::WorkQueueTask>(source_scheduler);
+  Status status = source_scheduler->AddReservedTask(task.get(), cpu_fraction);
+  if (!status.ok()) return status;
+  relay_task_ = std::move(task);
+  // Spread the reserved forwarding budget over the source byte stream.
+  relay_work_per_kb_ms_ =
+      cpu_fraction * 1000.0 / replica_.bitrate_kbps;
+  relay_hop_latency_ = hop_latency;
+  return Status::Ok();
+}
+
+int RtpStreamingSession::TotalSourceFrames() const {
+  int from_duration = static_cast<int>(
+      std::floor(replica_.duration_seconds * replica_.qos.frame_rate));
+  if (options_.max_source_frames > 0) {
+    return std::min(options_.max_source_frames, from_duration);
+  }
+  return from_duration;
+}
+
+double RtpStreamingSession::CpuDemandFraction() const {
+  return StreamCpuFraction(replica_, transform_, options_.cpu_cost);
+}
+
+void RtpStreamingSession::Start(FinishedCallback on_finished) {
+  assert(cpu_task_ != nullptr && "call AttachTimeSharing/AttachReserved");
+  assert(!started_);
+  started_ = true;
+  on_finished_ = std::move(on_finished);
+  if (TotalSourceFrames() == 0) {
+    finished_ = true;
+    if (on_finished_) on_finished_();
+    return;
+  }
+  ScheduleNextFrame(0);
+}
+
+void RtpStreamingSession::Stop() {
+  if (pending_frame_event_ != sim::kInvalidEventId) {
+    simulator_->Cancel(pending_frame_event_);
+    pending_frame_event_ = sim::kInvalidEventId;
+  }
+  // Dropping the tasks also drops any frames still queued on the CPUs.
+  cpu_task_.reset();
+  relay_task_.reset();
+  source_exhausted_ = true;
+}
+
+void RtpStreamingSession::ScheduleNextFrame(SimTime delay) {
+  pending_frame_event_ =
+      simulator_->ScheduleAfter(delay, [this] { HandleSourceFrame(); });
+}
+
+void RtpStreamingSession::HandleSourceFrame() {
+  pending_frame_event_ = sim::kInvalidEventId;
+  media::FrameInfo frame = frames_->Next();
+  if (frame.index_in_gop == 0) b_ordinal_in_gop_ = 0;
+  int b_ordinal = 0;
+  if (frame.type == media::FrameType::kB) b_ordinal = b_ordinal_in_gop_++;
+
+  ++source_frame_index_;
+  const bool last_frame = source_frame_index_ >= TotalSourceFrames();
+
+  double cpu_ms = transcode_ms_per_frame_;
+  bool survives =
+      media::FrameSurvivesDrop(transform_.drop, frame.type, b_ordinal);
+  // Relayed plans forward every source frame (the transfer precedes
+  // transcode/drop in the activity order), even ones dropped later.
+  double relay_ms =
+      relay_task_ != nullptr ? relay_work_per_kb_ms_ * frame.size_kb : 0.0;
+  if (!survives) {
+    // The frame consumes its transcode work but produces no output;
+    // charge that work to the next delivered frame.
+    carried_cpu_ms_ += cpu_ms;
+    if (relay_task_ != nullptr && relay_ms > 0.0) {
+      relay_task_->Submit(relay_ms, nullptr);
+    }
+    if (!last_frame) {
+      ScheduleNextFrame(0);
+    } else {
+      source_exhausted_ = true;
+      if (frames_in_flight_ == 0 && !finished_) {
+        finished_ = true;
+        if (on_finished_) on_finished_();
+      }
+    }
+    return;
+  }
+
+  double output_kb = frame.size_kb * output_scale_;
+  cpu_ms += options_.cpu_cost.FrameMs(output_kb) +
+            media::EncryptionCpuMsPerKb(transform_.encryption) * output_kb;
+  cpu_ms += carried_cpu_ms_;
+  carried_cpu_ms_ = 0.0;
+
+  ++frames_in_flight_;
+  auto deliver = [this, cpu_ms] {
+    cpu_task_->Submit(cpu_ms, [this](SimTime completion) {
+      --frames_in_flight_;
+      ++delivered_frames_;
+      if (completion_times_.size() < options_.record_limit) {
+        completion_times_.push_back(completion);
+      }
+      if (source_exhausted_ && frames_in_flight_ == 0 && !finished_) {
+        finished_ = true;
+        if (on_finished_) on_finished_();
+      }
+    });
+  };
+  if (relay_task_ != nullptr) {
+    // Pipeline: forward at the source, cross the server network, then
+    // process at the delivery site.
+    relay_task_->Submit(std::max(relay_ms, 1e-6), [this, deliver](SimTime) {
+      simulator_->ScheduleAfter(relay_hop_latency_, deliver);
+    });
+  } else {
+    deliver();
+  }
+
+  if (!last_frame) {
+    // Transmission pacing: the next frame is handled once this frame's
+    // bytes have left at the delivered wire rate.
+    double seconds = output_kb / wire_rate_kbps_;
+    ScheduleNextFrame(SecondsToSimTime(seconds));
+  } else {
+    source_exhausted_ = true;
+  }
+}
+
+RunningStats RtpStreamingSession::InterFrameDelayStats() const {
+  RunningStats stats;
+  for (size_t i = 1; i < completion_times_.size(); ++i) {
+    stats.Add(SimTimeToMillis(completion_times_[i] - completion_times_[i - 1]));
+  }
+  return stats;
+}
+
+RunningStats RtpStreamingSession::InterGopDelayStats(int gop_frames) const {
+  RunningStats stats;
+  assert(gop_frames > 0);
+  size_t step = static_cast<size_t>(gop_frames);
+  for (size_t i = step; i < completion_times_.size(); i += step) {
+    stats.Add(SimTimeToMillis(completion_times_[i] - completion_times_[i - step]));
+  }
+  return stats;
+}
+
+}  // namespace quasaq::net

@@ -1,0 +1,64 @@
+#ifndef QUASAQ_NET_TOPOLOGY_H_
+#define QUASAQ_NET_TOPOLOGY_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "simcore/fluid.h"
+#include "simcore/simulator.h"
+
+// Distributed testbed topology. The paper's deployment: three servers on
+// separate 100 Mbps Ethernets, each with 3200 KB/s of total streaming
+// bandwidth; clients 2–3 hops away; the bottleneck link is always the
+// server's outbound link and those links are dedicated to the
+// experiments. We therefore model exactly one shared resource per
+// server: its outbound link.
+
+namespace quasaq::net {
+
+// Static description of one database server site.
+struct ServerSpec {
+  SiteId id;
+  double outbound_kbps = 3200.0;   // total streaming bandwidth
+  double disk_kbps = 20000.0;      // sequential read bandwidth
+  double memory_kb = 1024.0 * 1024.0;  // staging-buffer budget
+};
+
+// Static description of the whole deployment.
+struct Topology {
+  std::vector<ServerSpec> servers;
+
+  /// The paper's testbed: 3 identical servers with 3200 KB/s links.
+  static Topology PaperTestbed();
+
+  /// `n` identical servers with the paper's per-server capacities
+  /// (used by the scale-out experiments the paper lists as future work).
+  static Topology Uniform(int n);
+
+  std::vector<SiteId> SiteIds() const;
+  const ServerSpec* Find(SiteId id) const;
+};
+
+// Dynamic network state: one fluid-shared outbound link per server.
+// With admission control, total admitted traffic never exceeds the
+// capacity, so every flow holds its full rate; without admission control
+// (plain VDBMS) the link oversubscribes and all flows slow down.
+class NetworkModel {
+ public:
+  NetworkModel(sim::Simulator* simulator, const Topology& topology);
+
+  /// Returns the outbound link of `site` (must exist).
+  sim::FluidServer& OutboundLink(SiteId site);
+
+  const Topology& topology() const { return topology_; }
+
+ private:
+  Topology topology_;
+  std::unordered_map<SiteId, std::unique_ptr<sim::FluidServer>> links_;
+};
+
+}  // namespace quasaq::net
+
+#endif  // QUASAQ_NET_TOPOLOGY_H_

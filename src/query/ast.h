@@ -1,0 +1,70 @@
+#ifndef QUASAQ_QUERY_AST_H_
+#define QUASAQ_QUERY_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "media/activities.h"
+#include "media/quality.h"
+
+// Abstract syntax of QoS-aware queries. Following the paper (and the
+// view/content split of Bertino et al. [3]), a query has a *content*
+// component — which videos — and a *quality* component — the
+// application-QoS bounds the delivery must satisfy. Example:
+//
+//   SELECT video FROM videos
+//   WHERE CONTAINS('sunset') AND SIMILAR(0.1, 0.9, ...) TOP 3
+//   WITH QOS (resolution >= 320x240, resolution <= 720x480,
+//             framerate >= 20, color >= 24, format IN (MPEG1, MPEG2),
+//             security >= standard)
+
+namespace quasaq::query {
+
+// The content component: conjunctive keyword / title predicates plus an
+// optional feature-similarity ranking.
+struct ContentPredicate {
+  std::vector<std::string> keywords;  // every CONTAINS(...) term, ANDed
+  std::optional<std::string> title;   // TITLE = '...'
+  // SIMILAR(v1, ..., vn): rank matches by feature-vector distance.
+  std::optional<std::vector<double>> similar_to;
+  // Result budget for similarity ranking (>= 1).
+  int top_k = 1;
+
+  bool empty() const {
+    return keywords.empty() && !title.has_value() && !similar_to.has_value();
+  }
+};
+
+// The quality component after parsing (still in application-QoS units;
+// QoP translation happens earlier, in the QoP browser).
+struct QosRequirement {
+  media::AppQosRange range;
+  media::SecurityLevel min_security = media::SecurityLevel::kNone;
+  // Time Guarantee (paper Table 1's application-QoS parameter): upper
+  // bound on the delivery's startup latency, seconds; 0 = no bound.
+  double max_startup_seconds = 0.0;
+
+  /// True when a delivered stream of quality `qos` protected by
+  /// `encryption` satisfies the requirement.
+  bool SatisfiedBy(const media::AppQos& qos,
+                   media::EncryptionAlgorithm encryption) const {
+    return range.Contains(qos) &&
+           media::EncryptionStrength(encryption) >= min_security;
+  }
+};
+
+// A fully parsed QoS-aware query.
+struct ParsedQuery {
+  std::string target;  // table name, e.g. "videos"
+  ContentPredicate content;
+  QosRequirement qos;
+  bool has_qos_clause = false;
+  // EXPLAIN SELECT ...: enumerate and rank the delivery plans instead
+  // of executing one.
+  bool explain = false;
+};
+
+}  // namespace quasaq::query
+
+#endif  // QUASAQ_QUERY_AST_H_

@@ -1,0 +1,92 @@
+#include "query/content_search.h"
+
+#include <algorithm>
+
+namespace quasaq::query {
+
+double FeatureDistanceSquared(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  size_t n = std::max(a.size(), b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double ai = i < a.size() ? a[i] : 0.0;
+    double bi = i < b.size() ? b[i] : 0.0;
+    sum += (ai - bi) * (ai - bi);
+  }
+  return sum;
+}
+
+void ContentIndex::Add(const media::VideoContent& content) {
+  contents_[content.id] = content;
+  for (const std::string& keyword : content.keywords) {
+    keyword_index_[keyword].push_back(content.id);
+  }
+  title_index_[content.title] = content.id;
+}
+
+std::vector<LogicalOid> ContentIndex::CandidatesFor(
+    const ContentPredicate& predicate) const {
+  // Title lookup is the most selective; start there if present.
+  if (predicate.title.has_value()) {
+    auto it = title_index_.find(*predicate.title);
+    if (it == title_index_.end()) return {};
+    std::vector<LogicalOid> single{it->second};
+    // Keyword predicates must still hold.
+    const media::VideoContent& content = contents_.at(it->second);
+    for (const std::string& keyword : predicate.keywords) {
+      if (std::find(content.keywords.begin(), content.keywords.end(),
+                    keyword) == content.keywords.end()) {
+        return {};
+      }
+    }
+    return single;
+  }
+  if (!predicate.keywords.empty()) {
+    // Intersect the posting lists of every keyword.
+    auto it = keyword_index_.find(predicate.keywords.front());
+    if (it == keyword_index_.end()) return {};
+    std::vector<LogicalOid> result = it->second;
+    std::sort(result.begin(), result.end());
+    for (size_t k = 1; k < predicate.keywords.size(); ++k) {
+      auto kt = keyword_index_.find(predicate.keywords[k]);
+      if (kt == keyword_index_.end()) return {};
+      std::vector<LogicalOid> postings = kt->second;
+      std::sort(postings.begin(), postings.end());
+      std::vector<LogicalOid> merged;
+      std::set_intersection(result.begin(), result.end(), postings.begin(),
+                            postings.end(), std::back_inserter(merged));
+      result = std::move(merged);
+      if (result.empty()) return result;
+    }
+    return result;
+  }
+  // No filter: every indexed object is a candidate.
+  std::vector<LogicalOid> all;
+  all.reserve(contents_.size());
+  for (const auto& [id, content] : contents_) all.push_back(id);
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+std::vector<LogicalOid> ContentIndex::Search(
+    const ContentPredicate& predicate) const {
+  std::vector<LogicalOid> candidates = CandidatesFor(predicate);
+  if (!predicate.similar_to.has_value()) return candidates;
+
+  std::vector<std::pair<double, LogicalOid>> ranked;
+  ranked.reserve(candidates.size());
+  for (LogicalOid id : candidates) {
+    const media::VideoContent& content = contents_.at(id);
+    ranked.emplace_back(
+        FeatureDistanceSquared(content.features, *predicate.similar_to), id);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  size_t k = std::min<size_t>(ranked.size(),
+                              static_cast<size_t>(predicate.top_k));
+  std::vector<LogicalOid> out;
+  out.reserve(k);
+  for (size_t i = 0; i < k; ++i) out.push_back(ranked[i].second);
+  return out;
+}
+
+}  // namespace quasaq::query

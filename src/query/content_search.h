@@ -1,0 +1,49 @@
+#ifndef QUASAQ_QUERY_CONTENT_SEARCH_H_
+#define QUASAQ_QUERY_CONTENT_SEARCH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "media/video.h"
+#include "query/ast.h"
+
+// Content-based search over the video catalog — phase 1 of QuaSAQ query
+// processing ("searching and identification of video objects done by the
+// original VDBMS"). Returns *logical* OIDs; QuaSAQ then plans the
+// QoS-constrained delivery. Keyword predicates are resolved through an
+// inverted index; SIMILAR(...) ranks candidates by Euclidean distance
+// over the stored feature vectors.
+
+namespace quasaq::query {
+
+class ContentIndex {
+ public:
+  /// Indexes one logical object (keywords, title and features).
+  void Add(const media::VideoContent& content);
+
+  /// Evaluates the content component of a query. Results are ranked by
+  /// similarity when SIMILAR is present (then truncated to top_k),
+  /// otherwise sorted by logical OID. An empty predicate matches all.
+  std::vector<LogicalOid> Search(const ContentPredicate& predicate) const;
+
+  size_t indexed_count() const { return contents_.size(); }
+
+ private:
+  std::vector<LogicalOid> CandidatesFor(
+      const ContentPredicate& predicate) const;
+
+  std::unordered_map<LogicalOid, media::VideoContent> contents_;
+  std::unordered_map<std::string, std::vector<LogicalOid>> keyword_index_;
+  std::unordered_map<std::string, LogicalOid> title_index_;
+};
+
+/// Squared Euclidean distance between two feature vectors; shorter
+/// vectors are zero-padded (queries may probe fewer dimensions).
+double FeatureDistanceSquared(const std::vector<double>& a,
+                              const std::vector<double>& b);
+
+}  // namespace quasaq::query
+
+#endif  // QUASAQ_QUERY_CONTENT_SEARCH_H_

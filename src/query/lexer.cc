@@ -1,0 +1,147 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace quasaq::query {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+}  // namespace
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kString:
+      return "string";
+    case TokenType::kNumber:
+      return "number";
+    case TokenType::kResolution:
+      return "resolution";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kGe:
+      return "'>='";
+    case TokenType::kLe:
+      return "'<='";
+    case TokenType::kEnd:
+      return "end of input";
+  }
+  return "unknown";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == ',') {
+      tokens.push_back({TokenType::kComma, ",", 0, 0, 0, start});
+      ++i;
+    } else if (c == '(') {
+      tokens.push_back({TokenType::kLParen, "(", 0, 0, 0, start});
+      ++i;
+    } else if (c == ')') {
+      tokens.push_back({TokenType::kRParen, ")", 0, 0, 0, start});
+      ++i;
+    } else if (c == ';') {
+      tokens.push_back({TokenType::kSemicolon, ";", 0, 0, 0, start});
+      ++i;
+    } else if (c == '=') {
+      tokens.push_back({TokenType::kEq, "=", 0, 0, 0, start});
+      ++i;
+    } else if (c == '>' || c == '<') {
+      if (i + 1 >= n || input[i + 1] != '=') {
+        return Status::InvalidArgument(
+            "expected '=' after '" + std::string(1, c) + "' at offset " +
+            std::to_string(start));
+      }
+      tokens.push_back({c == '>' ? TokenType::kGe : TokenType::kLe,
+                        std::string(1, c) + "=", 0, 0, 0, start});
+      i += 2;
+    } else if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string at offset " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, text, 0, 0, 0, start});
+    } else if (IsDigit(c)) {
+      size_t j = i;
+      while (j < n && IsDigit(input[j])) ++j;
+      // A digit run followed by 'x' and another digit run is a
+      // resolution literal (e.g. 320x240).
+      if (j < n && (input[j] == 'x' || input[j] == 'X') && j + 1 < n &&
+          IsDigit(input[j + 1])) {
+        int width = std::atoi(std::string(input.substr(i, j - i)).c_str());
+        size_t k = j + 1;
+        while (k < n && IsDigit(input[k])) ++k;
+        int height =
+            std::atoi(std::string(input.substr(j + 1, k - j - 1)).c_str());
+        tokens.push_back({TokenType::kResolution,
+                          std::string(input.substr(i, k - i)), 0, width,
+                          height, start});
+        i = k;
+      } else {
+        // Decimal number (integer or fractional part allowed).
+        if (j < n && input[j] == '.') {
+          ++j;
+          while (j < n && IsDigit(input[j])) ++j;
+        }
+        std::string text(input.substr(i, j - i));
+        tokens.push_back(
+            {TokenType::kNumber, text, std::atof(text.c_str()), 0, 0, start});
+        i = j;
+      }
+    } else if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      tokens.push_back({TokenType::kIdent,
+                        std::string(input.substr(i, j - i)), 0, 0, 0, start});
+      i = j;
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", 0, 0, 0, n});
+  return tokens;
+}
+
+}  // namespace quasaq::query

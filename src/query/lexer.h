@@ -1,0 +1,49 @@
+#ifndef QUASAQ_QUERY_LEXER_H_
+#define QUASAQ_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+// Tokenizer for the QoS-aware query language. Keywords are recognized in
+// the parser (case-insensitively); the lexer only classifies shapes.
+
+namespace quasaq::query {
+
+enum class TokenType {
+  kIdent = 0,    // SELECT, videos, framerate, MPEG1, ...
+  kString,       // 'sunset'
+  kNumber,       // 20, 23.97
+  kResolution,   // 320x240
+  kComma,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kEq,           // =
+  kGe,           // >=
+  kLe,           // <=
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        // raw text (string contents for kString)
+  double number = 0.0;     // for kNumber
+  int res_width = 0;       // for kResolution
+  int res_height = 0;
+  size_t position = 0;     // byte offset in the input, for diagnostics
+};
+
+/// Returns a short name for `type` ("identifier", "','", ...).
+std::string_view TokenTypeName(TokenType type);
+
+/// Tokenizes `input`; the result always ends with a kEnd token.
+/// Fails with kInvalidArgument on an unrecognized character or an
+/// unterminated string literal.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace quasaq::query
+
+#endif  // QUASAQ_QUERY_LEXER_H_

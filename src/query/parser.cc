@@ -1,0 +1,366 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+namespace quasaq::query {
+
+namespace internal_parser {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Parser::Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+const Token& Parser::Peek() const { return tokens_[pos_]; }
+
+Token Parser::Consume() {
+  Token token = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return token;
+}
+
+bool Parser::PeekKeyword(std::string_view keyword) const {
+  return Peek().type == TokenType::kIdent &&
+         EqualsIgnoreCase(Peek().text, keyword);
+}
+
+Status Parser::ErrorAt(const Token& token, std::string message) const {
+  return Status::InvalidArgument(message + " at offset " +
+                                 std::to_string(token.position) + " (got " +
+                                 (token.type == TokenType::kEnd
+                                      ? std::string("end of input")
+                                      : "'" + token.text + "'") +
+                                 ")");
+}
+
+Status Parser::ExpectKeyword(std::string_view keyword) {
+  if (!PeekKeyword(keyword)) {
+    return ErrorAt(Peek(), "expected keyword '" + std::string(keyword) + "'");
+  }
+  Consume();
+  return Status::Ok();
+}
+
+Result<Token> Parser::Expect(TokenType type) {
+  if (Peek().type != type) {
+    return ErrorAt(Peek(),
+                   "expected " + std::string(TokenTypeName(type)));
+  }
+  return Consume();
+}
+
+Result<ParsedQuery> Parser::Run() {
+  ParsedQuery query;
+  if (PeekKeyword("EXPLAIN")) {
+    Consume();
+    query.explain = true;
+  }
+  if (Status s = ExpectKeyword("SELECT"); !s.ok()) return s;
+  if (Result<Token> t = Expect(TokenType::kIdent); !t.ok()) {
+    return t.status();
+  }
+  if (Status s = ExpectKeyword("FROM"); !s.ok()) return s;
+  Result<Token> target = Expect(TokenType::kIdent);
+  if (!target.ok()) return target.status();
+  query.target = target->text;
+
+  if (PeekKeyword("WHERE")) {
+    Consume();
+    if (Status s = ParseWhere(query); !s.ok()) return s;
+  }
+  if (PeekKeyword("WITH")) {
+    Consume();
+    if (Status s = ExpectKeyword("QOS"); !s.ok()) return s;
+    if (Status s = ParseQosClause(query); !s.ok()) return s;
+    query.has_qos_clause = true;
+  }
+  if (Peek().type == TokenType::kSemicolon) Consume();
+  if (Peek().type != TokenType::kEnd) {
+    return ErrorAt(Peek(), "trailing input");
+  }
+  if (Status s = Validate(query); !s.ok()) return s;
+  return query;
+}
+
+Status Parser::ParseWhere(ParsedQuery& query) {
+  if (Status s = ParseTerm(query); !s.ok()) return s;
+  while (PeekKeyword("AND")) {
+    Consume();
+    if (Status s = ParseTerm(query); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status Parser::ParseTerm(ParsedQuery& query) {
+  if (PeekKeyword("CONTAINS")) {
+    Consume();
+    if (Result<Token> t = Expect(TokenType::kLParen); !t.ok()) {
+      return t.status();
+    }
+    Result<Token> keyword = Expect(TokenType::kString);
+    if (!keyword.ok()) return keyword.status();
+    if (Result<Token> t = Expect(TokenType::kRParen); !t.ok()) {
+      return t.status();
+    }
+    query.content.keywords.push_back(keyword->text);
+    return Status::Ok();
+  }
+  if (PeekKeyword("TITLE")) {
+    Consume();
+    if (Result<Token> t = Expect(TokenType::kEq); !t.ok()) return t.status();
+    Result<Token> title = Expect(TokenType::kString);
+    if (!title.ok()) return title.status();
+    query.content.title = title->text;
+    return Status::Ok();
+  }
+  if (PeekKeyword("SIMILAR")) {
+    Consume();
+    if (Result<Token> t = Expect(TokenType::kLParen); !t.ok()) {
+      return t.status();
+    }
+    std::vector<double> features;
+    Result<Token> first = Expect(TokenType::kNumber);
+    if (!first.ok()) return first.status();
+    features.push_back(first->number);
+    while (Peek().type == TokenType::kComma) {
+      Consume();
+      Result<Token> next = Expect(TokenType::kNumber);
+      if (!next.ok()) return next.status();
+      features.push_back(next->number);
+    }
+    if (Result<Token> t = Expect(TokenType::kRParen); !t.ok()) {
+      return t.status();
+    }
+    query.content.similar_to = std::move(features);
+    if (PeekKeyword("TOP")) {
+      Consume();
+      Result<Token> k = Expect(TokenType::kNumber);
+      if (!k.ok()) return k.status();
+      query.content.top_k = static_cast<int>(k->number);
+    }
+    return Status::Ok();
+  }
+  return ErrorAt(Peek(), "expected CONTAINS, TITLE or SIMILAR");
+}
+
+Status Parser::ParseQosClause(ParsedQuery& query) {
+  if (Result<Token> t = Expect(TokenType::kLParen); !t.ok()) {
+    return t.status();
+  }
+  if (Status s = ParseQosItem(query); !s.ok()) return s;
+  while (Peek().type == TokenType::kComma) {
+    Consume();
+    if (Status s = ParseQosItem(query); !s.ok()) return s;
+  }
+  if (Result<Token> t = Expect(TokenType::kRParen); !t.ok()) {
+    return t.status();
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+Result<media::VideoFormat> ParseFormatName(const Token& token) {
+  if (EqualsIgnoreCase(token.text, "MPEG1")) {
+    return media::VideoFormat::kMpeg1;
+  }
+  if (EqualsIgnoreCase(token.text, "MPEG2")) {
+    return media::VideoFormat::kMpeg2;
+  }
+  return Status::InvalidArgument("unknown format '" + token.text + "'");
+}
+
+Result<media::AudioQuality> ParseAudioName(const Token& token) {
+  if (EqualsIgnoreCase(token.text, "none")) {
+    return media::AudioQuality::kNone;
+  }
+  if (EqualsIgnoreCase(token.text, "phone")) {
+    return media::AudioQuality::kPhone;
+  }
+  if (EqualsIgnoreCase(token.text, "fm")) {
+    return media::AudioQuality::kFm;
+  }
+  if (EqualsIgnoreCase(token.text, "cd")) {
+    return media::AudioQuality::kCd;
+  }
+  return Status::InvalidArgument("unknown audio quality '" + token.text +
+                                 "'");
+}
+
+Result<media::SecurityLevel> ParseSecurityName(const Token& token) {
+  if (EqualsIgnoreCase(token.text, "none")) {
+    return media::SecurityLevel::kNone;
+  }
+  if (EqualsIgnoreCase(token.text, "standard")) {
+    return media::SecurityLevel::kStandard;
+  }
+  if (EqualsIgnoreCase(token.text, "strong")) {
+    return media::SecurityLevel::kStrong;
+  }
+  return Status::InvalidArgument("unknown security level '" + token.text +
+                                 "'");
+}
+
+}  // namespace
+
+Status Parser::ParseQosItem(ParsedQuery& query) {
+  Result<Token> name = Expect(TokenType::kIdent);
+  if (!name.ok()) return name.status();
+  media::AppQosRange& range = query.qos.range;
+
+  if (EqualsIgnoreCase(name->text, "resolution")) {
+    TokenType op = Peek().type;
+    if (op != TokenType::kGe && op != TokenType::kLe &&
+        op != TokenType::kEq) {
+      return ErrorAt(Peek(), "expected comparison operator");
+    }
+    Consume();
+    Result<Token> value = Expect(TokenType::kResolution);
+    if (!value.ok()) return value.status();
+    media::Resolution r{value->res_width, value->res_height};
+    if (op != TokenType::kLe) range.min_resolution = r;
+    if (op != TokenType::kGe) range.max_resolution = r;
+    return Status::Ok();
+  }
+  if (EqualsIgnoreCase(name->text, "framerate") ||
+      EqualsIgnoreCase(name->text, "color")) {
+    bool is_framerate = EqualsIgnoreCase(name->text, "framerate");
+    TokenType op = Peek().type;
+    if (op != TokenType::kGe && op != TokenType::kLe &&
+        op != TokenType::kEq) {
+      return ErrorAt(Peek(), "expected comparison operator");
+    }
+    Consume();
+    Result<Token> value = Expect(TokenType::kNumber);
+    if (!value.ok()) return value.status();
+    if (is_framerate) {
+      if (op != TokenType::kLe) range.min_frame_rate = value->number;
+      if (op != TokenType::kGe) range.max_frame_rate = value->number;
+    } else {
+      if (op != TokenType::kLe) {
+        range.min_color_depth_bits = static_cast<int>(value->number);
+      }
+      if (op != TokenType::kGe) {
+        range.max_color_depth_bits = static_cast<int>(value->number);
+      }
+    }
+    return Status::Ok();
+  }
+  if (EqualsIgnoreCase(name->text, "format")) {
+    if (Peek().type == TokenType::kEq) {
+      Consume();
+      Result<Token> fmt = Expect(TokenType::kIdent);
+      if (!fmt.ok()) return fmt.status();
+      Result<media::VideoFormat> format = ParseFormatName(*fmt);
+      if (!format.ok()) return format.status();
+      range.accepted_formats = 1u << static_cast<int>(*format);
+      return Status::Ok();
+    }
+    if (Status s = ExpectKeyword("IN"); !s.ok()) return s;
+    if (Result<Token> t = Expect(TokenType::kLParen); !t.ok()) {
+      return t.status();
+    }
+    uint32_t mask = 0;
+    while (true) {
+      Result<Token> fmt = Expect(TokenType::kIdent);
+      if (!fmt.ok()) return fmt.status();
+      Result<media::VideoFormat> format = ParseFormatName(*fmt);
+      if (!format.ok()) return format.status();
+      mask |= 1u << static_cast<int>(*format);
+      if (Peek().type != TokenType::kComma) break;
+      Consume();
+    }
+    if (Result<Token> t = Expect(TokenType::kRParen); !t.ok()) {
+      return t.status();
+    }
+    range.accepted_formats = mask;
+    return Status::Ok();
+  }
+  if (EqualsIgnoreCase(name->text, "startup")) {
+    // Time Guarantee: an upper bound on startup latency in seconds.
+    TokenType op = Peek().type;
+    if (op != TokenType::kLe && op != TokenType::kEq) {
+      return ErrorAt(Peek(), "expected '<=' or '=' after startup");
+    }
+    Consume();
+    Result<Token> value = Expect(TokenType::kNumber);
+    if (!value.ok()) return value.status();
+    if (value->number <= 0.0) {
+      return ErrorAt(*value, "startup bound must be positive");
+    }
+    query.qos.max_startup_seconds = value->number;
+    return Status::Ok();
+  }
+  if (EqualsIgnoreCase(name->text, "audio")) {
+    TokenType op = Peek().type;
+    if (op != TokenType::kGe && op != TokenType::kLe &&
+        op != TokenType::kEq) {
+      return ErrorAt(Peek(), "expected comparison operator");
+    }
+    Consume();
+    Result<Token> level = Expect(TokenType::kIdent);
+    if (!level.ok()) return level.status();
+    Result<media::AudioQuality> audio = ParseAudioName(*level);
+    if (!audio.ok()) return audio.status();
+    if (op != TokenType::kLe) range.min_audio = *audio;
+    if (op != TokenType::kGe) range.max_audio = *audio;
+    return Status::Ok();
+  }
+  if (EqualsIgnoreCase(name->text, "security")) {
+    TokenType op = Peek().type;
+    if (op != TokenType::kGe && op != TokenType::kEq) {
+      return ErrorAt(Peek(), "expected '>=' or '=' after security");
+    }
+    Consume();
+    Result<Token> level = Expect(TokenType::kIdent);
+    if (!level.ok()) return level.status();
+    Result<media::SecurityLevel> security = ParseSecurityName(*level);
+    if (!security.ok()) return security.status();
+    query.qos.min_security = *security;
+    return Status::Ok();
+  }
+  return ErrorAt(*name, "unknown QoS parameter '" + name->text + "'");
+}
+
+Status Parser::Validate(const ParsedQuery& query) const {
+  const media::AppQosRange& range = query.qos.range;
+  if (range.min_resolution.PixelCount() >
+      range.max_resolution.PixelCount()) {
+    return Status::InvalidArgument("empty resolution range");
+  }
+  if (range.min_color_depth_bits > range.max_color_depth_bits) {
+    return Status::InvalidArgument("empty color depth range");
+  }
+  if (range.min_frame_rate > range.max_frame_rate) {
+    return Status::InvalidArgument("empty frame rate range");
+  }
+  if (range.accepted_formats == 0) {
+    return Status::InvalidArgument("no accepted format");
+  }
+  if (range.min_audio > range.max_audio) {
+    return Status::InvalidArgument("empty audio quality range");
+  }
+  if (query.content.top_k < 1) {
+    return Status::InvalidArgument("TOP must be at least 1");
+  }
+  return Status::Ok();
+}
+
+}  // namespace internal_parser
+
+Result<ParsedQuery> ParseQuery(std::string_view input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  if (!tokens.ok()) return tokens.status();
+  internal_parser::Parser parser(std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace quasaq::query

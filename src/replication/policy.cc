@@ -1,0 +1,188 @@
+#include "replication/policy.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace quasaq::repl {
+
+namespace {
+
+// Demand lookup for eviction ranking: rate of the (content, level)
+// stream a replica serves.
+double DemandOf(const PlacementSnapshot& snapshot, LogicalOid content,
+                int level) {
+  for (const auto& [key, rate] : snapshot.demand) {
+    if (key.content == content && key.ladder_level == level) return rate;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::string ReplicationAction::ToString() const {
+  if (kind == Kind::kCreate) {
+    return "create content" + std::to_string(content.value()) + "/L" +
+           std::to_string(ladder_level) + "@site" +
+           std::to_string(site.value());
+  }
+  return "drop oid" + std::to_string(victim.value());
+}
+
+namespace {
+
+// Shrinks cold non-master (content, level) groups to `min_copies`.
+void PlanConsolidation(const PlacementSnapshot& snapshot,
+                       const PolicyOptions& options,
+                       std::vector<ReplicationAction>& actions) {
+  // Group replicas by (content, level) and count copies.
+  std::unordered_map<int64_t, std::vector<const PlacementEntry*>> groups;
+  for (const PlacementEntry& entry : snapshot.replicas) {
+    if (options.protect_master_level && entry.ladder_level == 0) continue;
+    groups[entry.content.value() * 1000 + entry.ladder_level].push_back(
+        &entry);
+  }
+  for (const auto& [key, members] : groups) {
+    if (static_cast<int>(members.size()) <= options.min_copies) continue;
+    if (DemandOf(snapshot, members.front()->content,
+                 members.front()->ladder_level) > 0.0) {
+      continue;  // still warm
+    }
+    for (size_t i = static_cast<size_t>(options.min_copies);
+         i < members.size(); ++i) {
+      if (static_cast<int>(actions.size()) >=
+          options.max_actions_per_cycle) {
+        return;
+      }
+      ReplicationAction drop;
+      drop.kind = ReplicationAction::Kind::kDrop;
+      drop.victim = members[i]->oid;
+      actions.push_back(drop);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ReplicationAction> PlanReplicationActions(
+    const PlacementSnapshot& snapshot, const PolicyOptions& options) {
+  std::vector<ReplicationAction> actions;
+  if (options.consolidate_cold_replicas) {
+    PlanConsolidation(snapshot, options, actions);
+  }
+
+  // Free space per site (mutable working copy).
+  std::unordered_map<int64_t, double> free_kb;
+  std::unordered_set<int64_t> bounded_sites;
+  for (const auto& [site, kb] : snapshot.free_kb) {
+    free_kb[site.value()] = kb;
+    bounded_sites.insert(site.value());
+  }
+
+  // Fast placement membership: (content, level, site) -> present.
+  auto placement_key = [](LogicalOid content, int level, SiteId site) {
+    return content.value() * 1000000 + level * 1000 + site.value();
+  };
+  std::unordered_set<int64_t> placed;
+  for (const PlacementEntry& entry : snapshot.replicas) {
+    placed.insert(
+        placement_key(entry.content, entry.ladder_level, entry.site));
+  }
+  std::unordered_set<int64_t> dropped;  // victims already planned
+  // Account for consolidation drops planned above: their space frees up
+  // and their placement slots reopen.
+  for (const ReplicationAction& action : actions) {
+    if (action.kind != ReplicationAction::Kind::kDrop) continue;
+    for (const PlacementEntry& entry : snapshot.replicas) {
+      if (entry.oid != action.victim) continue;
+      dropped.insert(entry.oid.value());
+      placed.erase(placement_key(entry.content, entry.ladder_level,
+                                 entry.site));
+      if (bounded_sites.count(entry.site.value()) > 0) {
+        free_kb[entry.site.value()] += entry.size_kb;
+      }
+      break;
+    }
+  }
+
+  for (size_t d = 0; d < snapshot.demand.size(); ++d) {
+    if (static_cast<int>(actions.size()) >= options.max_actions_per_cycle) {
+      break;
+    }
+    const auto& [key, rate] = snapshot.demand[d];
+    if (rate < options.create_threshold_per_second) break;  // sorted desc
+    double replica_kb = snapshot.demand_replica_kb[d];
+
+    // The content must have a master copy somewhere to transcode from.
+    bool has_master = false;
+    for (const PlacementEntry& entry : snapshot.replicas) {
+      if (entry.content == key.content && entry.ladder_level == 0 &&
+          dropped.count(entry.oid.value()) == 0) {
+        has_master = true;
+        break;
+      }
+    }
+    if (!has_master) continue;
+
+    for (SiteId site : snapshot.sites) {
+      if (static_cast<int>(actions.size()) >=
+          options.max_actions_per_cycle) {
+        break;
+      }
+      if (placed.count(placement_key(key.content, key.ladder_level, site)) >
+          0) {
+        continue;  // already materialized there
+      }
+
+      // Make room when the site has a bounded store.
+      if (bounded_sites.count(site.value()) > 0) {
+        double& site_free = free_kb[site.value()];
+        if (site_free < replica_kb) {
+          // Evict the coldest evictable replicas at this site.
+          std::vector<const PlacementEntry*> candidates;
+          for (const PlacementEntry& entry : snapshot.replicas) {
+            if (entry.site != site) continue;
+            if (dropped.count(entry.oid.value()) > 0) continue;
+            if (options.protect_master_level && entry.ladder_level == 0) {
+              continue;
+            }
+            candidates.push_back(&entry);
+          }
+          std::sort(candidates.begin(), candidates.end(),
+                    [&snapshot](const PlacementEntry* a,
+                                const PlacementEntry* b) {
+                      return DemandOf(snapshot, a->content, a->ladder_level) <
+                             DemandOf(snapshot, b->content, b->ladder_level);
+                    });
+          for (const PlacementEntry* victim : candidates) {
+            if (site_free >= replica_kb) break;
+            // Evicting something hotter than the newcomer is a loss.
+            if (DemandOf(snapshot, victim->content, victim->ladder_level) >=
+                rate) {
+              break;
+            }
+            ReplicationAction drop;
+            drop.kind = ReplicationAction::Kind::kDrop;
+            drop.victim = victim->oid;
+            actions.push_back(drop);
+            dropped.insert(victim->oid.value());
+            site_free += victim->size_kb;
+          }
+          if (site_free < replica_kb) continue;  // cannot make room
+        }
+        site_free -= replica_kb;
+      }
+
+      ReplicationAction create;
+      create.kind = ReplicationAction::Kind::kCreate;
+      create.content = key.content;
+      create.ladder_level = key.ladder_level;
+      create.site = site;
+      actions.push_back(create);
+      placed.insert(placement_key(key.content, key.ladder_level, site));
+    }
+  }
+  return actions;
+}
+
+}  // namespace quasaq::repl

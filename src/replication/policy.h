@@ -1,0 +1,78 @@
+#ifndef QUASAQ_REPLICATION_POLICY_H_
+#define QUASAQ_REPLICATION_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "replication/access_tracker.h"
+
+// Demand-driven replication policy. Given a snapshot of current demand,
+// placement and free space, plans which replicas to materialize (by
+// offline transcoding from a master copy) and which cold replicas to
+// evict to make room. Pure function of its inputs, so it is directly
+// testable; the ReplicationManager executes the returned actions.
+
+namespace quasaq::repl {
+
+// One replica as the policy sees it.
+struct PlacementEntry {
+  PhysicalOid oid;
+  LogicalOid content;
+  int ladder_level = 0;
+  SiteId site;
+  double size_kb = 0.0;
+};
+
+// Everything the policy may look at.
+struct PlacementSnapshot {
+  std::vector<PlacementEntry> replicas;
+  std::vector<SiteId> sites;
+  // Free storage per site, KB; empty (or missing site) = unlimited.
+  std::vector<std::pair<SiteId, double>> free_kb;
+  // Demand over the sliding window, most-demanded first.
+  std::vector<std::pair<DemandKey, double>> demand;
+  // Estimated size of a (content, level) replica, KB.
+  // Index: same order as `demand`.
+  std::vector<double> demand_replica_kb;
+};
+
+struct ReplicationAction {
+  enum class Kind { kCreate, kDrop };
+  Kind kind = Kind::kCreate;
+  // kCreate: materialize (content, ladder_level) at `site`.
+  LogicalOid content;
+  int ladder_level = 0;
+  SiteId site;
+  // kDrop: evict this replica.
+  PhysicalOid victim;
+
+  std::string ToString() const;
+};
+
+struct PolicyOptions {
+  // Demand rate (requests/s) above which a missing replica is created.
+  double create_threshold_per_second = 0.05;
+  // Upper bound on actions per planning cycle (creation is offline
+  // transcoding work; throttle it).
+  int max_actions_per_cycle = 4;
+  // Never evict ladder level 0 (master copies).
+  bool protect_master_level = true;
+  // Consolidation (the migration half of the paper's "dynamic online
+  // replication and migration"): when a non-master (content, level) has
+  // seen no demand in the window, shrink it back to `min_copies`
+  // replicas, reclaiming space for hotter content.
+  bool consolidate_cold_replicas = false;
+  int min_copies = 1;
+};
+
+/// Plans the next cycle's actions. Creates missing high-demand replicas
+/// on every site (nearest data wins for the planner); when a site lacks
+/// space, evicts its coldest non-master replicas first. Never plans a
+/// drop of a replica it also plans to create.
+std::vector<ReplicationAction> PlanReplicationActions(
+    const PlacementSnapshot& snapshot, const PolicyOptions& options);
+
+}  // namespace quasaq::repl
+
+#endif  // QUASAQ_REPLICATION_POLICY_H_

@@ -1,0 +1,104 @@
+#include "resource/composite_api.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace quasaq::res {
+
+void CompositeQosApi::AccountAttempt(const ResourceVector& demand,
+                                     bool admitted) {
+  for (const ResourceVector::Entry& e : demand.entries()) {
+    KindStats& kind = kind_stats_[static_cast<size_t>(e.bucket.kind)];
+    ++kind.requests;
+    if (!admitted) {
+      // Charge the denial to every kind whose bucket would overflow.
+      double capacity = pool_->Capacity(e.bucket);
+      if (capacity > 0.0 &&
+          pool_->Used(e.bucket) + e.amount > capacity * (1.0 + 1e-9)) {
+        ++kind.denials;
+      }
+    }
+  }
+}
+
+std::string CompositeQosApi::BottleneckReport() const {
+  const char* worst = nullptr;
+  uint64_t worst_denials = 0;
+  uint64_t total_denials = 0;
+  for (int i = 0; i < kNumResourceKinds; ++i) {
+    total_denials += kind_stats_[i].denials;
+    if (kind_stats_[i].denials > worst_denials) {
+      worst_denials = kind_stats_[i].denials;
+      worst = ResourceKindName(static_cast<ResourceKind>(i)).data();
+    }
+  }
+  if (worst == nullptr) return "";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "bottleneck: %s (%llu of %llu denials)", worst,
+                static_cast<unsigned long long>(worst_denials),
+                static_cast<unsigned long long>(total_denials));
+  return std::string(buf);
+}
+
+CompositeQosApi::CompositeQosApi(ResourcePool* pool) : pool_(pool) {
+  assert(pool_ != nullptr);
+}
+
+bool CompositeQosApi::Admissible(const ResourceVector& demand) const {
+  return pool_->Fits(demand);
+}
+
+Result<ReservationId> CompositeQosApi::Reserve(const ResourceVector& demand) {
+  Status status = pool_->Acquire(demand);
+  AccountAttempt(demand, status.ok());
+  if (!status.ok()) {
+    ++stats_.rejected;
+    return status;
+  }
+  ++stats_.admitted;
+  ReservationId id = next_id_++;
+  reservations_.emplace(id, demand);
+  return id;
+}
+
+Status CompositeQosApi::Release(ReservationId id) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) {
+    return Status::NotFound("unknown reservation");
+  }
+  pool_->Release(it->second);
+  reservations_.erase(it);
+  ++stats_.released;
+  return Status::Ok();
+}
+
+Status CompositeQosApi::Renegotiate(ReservationId id,
+                                    const ResourceVector& new_demand) {
+  auto it = reservations_.find(id);
+  if (it == reservations_.end()) {
+    return Status::NotFound("unknown reservation");
+  }
+  // Tentatively release the old demand, then try the new one; restore on
+  // failure so a failed renegotiation leaves the session running at its
+  // previously agreed quality.
+  pool_->Release(it->second);
+  Status status = pool_->Acquire(new_demand);
+  if (!status.ok()) {
+    Status restored = pool_->Acquire(it->second);
+    assert(restored.ok());
+    (void)restored;
+    ++stats_.renegotiation_failures;
+    return status;
+  }
+  it->second = new_demand;
+  ++stats_.renegotiations;
+  return Status::Ok();
+}
+
+const ResourceVector* CompositeQosApi::Find(ReservationId id) const {
+  auto it = reservations_.find(id);
+  return it == reservations_.end() ? nullptr : &it->second;
+}
+
+}  // namespace quasaq::res

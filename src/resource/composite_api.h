@@ -1,0 +1,88 @@
+#ifndef QUASAQ_RESOURCE_COMPOSITE_API_H_
+#define QUASAQ_RESOURCE_COMPOSITE_API_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/resource_vector.h"
+#include "common/status.h"
+#include "resource/pool.h"
+
+// Composite QoS API (paper §3.5): the single entry point that hides the
+// per-resource managers (CPU / network / disk, GARA-style) behind one
+// interface offering the three operations QoS control needs —
+// admission control, resource reservation, and renegotiation.
+// Reservations are all-or-nothing across every bucket a plan touches.
+
+namespace quasaq::res {
+
+using ReservationId = int64_t;
+inline constexpr ReservationId kInvalidReservationId = 0;
+
+class CompositeQosApi {
+ public:
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rejected = 0;
+    uint64_t released = 0;
+    uint64_t renegotiations = 0;
+    uint64_t renegotiation_failures = 0;
+  };
+
+  // Per-resource-kind accounting, mirroring GARA's per-resource managers
+  // (CPU / network / disk / memory each with its own manager): how often
+  // each kind was requested and how often it was the one that vetoed an
+  // admission — i.e. which resource is the system's bottleneck.
+  struct KindStats {
+    uint64_t requests = 0;
+    uint64_t denials = 0;
+  };
+
+  /// `pool` must outlive the API object.
+  explicit CompositeQosApi(ResourcePool* pool);
+
+  /// Admission control: true when `demand` fits the current system
+  /// status without reserving anything.
+  bool Admissible(const ResourceVector& demand) const;
+
+  /// Reserves `demand` for the lifetime of a delivery job. On success
+  /// the buckets are charged and a reservation handle is returned.
+  Result<ReservationId> Reserve(const ResourceVector& demand);
+
+  /// Releases a reservation completely.
+  Status Release(ReservationId id);
+
+  /// Renegotiation: atomically replaces the reservation's demand with
+  /// `new_demand` (used when the user changes QoS mid-playback or a
+  /// degraded plan is adopted). On failure the old reservation stands.
+  Status Renegotiate(ReservationId id, const ResourceVector& new_demand);
+
+  /// Returns the reserved vector for `id`, or nullptr.
+  const ResourceVector* Find(ReservationId id) const;
+
+  size_t active_reservations() const { return reservations_.size(); }
+  const Stats& stats() const { return stats_; }
+  const KindStats& kind_stats(ResourceKind kind) const {
+    return kind_stats_[static_cast<size_t>(kind)];
+  }
+  const ResourcePool& pool() const { return *pool_; }
+
+  /// The resource kind that vetoed the most reservations so far, or
+  /// empty when nothing has been denied — the operator's first answer
+  /// to "what do we buy more of?".
+  std::string BottleneckReport() const;
+
+ private:
+  // Charges per-kind request/denial accounting for one attempt.
+  void AccountAttempt(const ResourceVector& demand, bool admitted);
+
+  ResourcePool* pool_;
+  ReservationId next_id_ = 1;
+  std::unordered_map<ReservationId, ResourceVector> reservations_;
+  Stats stats_;
+  KindStats kind_stats_[kNumResourceKinds] = {};
+};
+
+}  // namespace quasaq::res
+
+#endif  // QUASAQ_RESOURCE_COMPOSITE_API_H_

@@ -1,0 +1,108 @@
+#include "resource/pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace quasaq::res {
+
+namespace {
+// Tolerance for floating-point accumulation when checking capacity.
+constexpr double kSlack = 1e-9;
+}  // namespace
+
+void ResourcePool::DeclareBucket(const BucketId& bucket, double capacity) {
+  assert(capacity > 0.0);
+  buckets_[bucket].capacity = capacity;
+}
+
+bool ResourcePool::HasBucket(const BucketId& bucket) const {
+  return buckets_.count(bucket) > 0;
+}
+
+double ResourcePool::Capacity(const BucketId& bucket) const {
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? 0.0 : it->second.capacity;
+}
+
+double ResourcePool::Used(const BucketId& bucket) const {
+  auto it = buckets_.find(bucket);
+  return it == buckets_.end() ? 0.0 : it->second.used;
+}
+
+double ResourcePool::Utilization(const BucketId& bucket) const {
+  auto it = buckets_.find(bucket);
+  if (it == buckets_.end() || it->second.capacity <= 0.0) return 0.0;
+  return it->second.used / it->second.capacity;
+}
+
+bool ResourcePool::Fits(const ResourceVector& demand) const {
+  for (const ResourceVector::Entry& e : demand.entries()) {
+    auto it = buckets_.find(e.bucket);
+    if (it == buckets_.end()) return false;
+    if (it->second.used + e.amount > it->second.capacity * (1.0 + kSlack)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status ResourcePool::Acquire(const ResourceVector& demand) {
+  for (const ResourceVector::Entry& e : demand.entries()) {
+    if (buckets_.count(e.bucket) == 0) {
+      return Status::NotFound("undeclared bucket " +
+                              BucketIdToString(e.bucket));
+    }
+  }
+  if (!Fits(demand)) {
+    return Status::ResourceExhausted("bucket would overflow");
+  }
+  for (const ResourceVector::Entry& e : demand.entries()) {
+    buckets_[e.bucket].used += e.amount;
+  }
+  return Status::Ok();
+}
+
+void ResourcePool::Release(const ResourceVector& demand) {
+  for (const ResourceVector::Entry& e : demand.entries()) {
+    auto it = buckets_.find(e.bucket);
+    if (it == buckets_.end()) continue;
+    it->second.used = std::max(0.0, it->second.used - e.amount);
+    // Snap accumulated floating-point residue to a clean zero; real
+    // reservations are many orders of magnitude above this.
+    if (it->second.used < it->second.capacity * 1e-9) {
+      it->second.used = 0.0;
+    }
+  }
+}
+
+std::vector<BucketId> ResourcePool::Buckets() const {
+  std::vector<BucketId> out;
+  out.reserve(buckets_.size());
+  for (const auto& [id, state] : buckets_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double ResourcePool::MaxUtilization() const {
+  double max_util = 0.0;
+  for (const auto& [id, state] : buckets_) {
+    if (state.capacity <= 0.0) continue;
+    max_util = std::max(max_util, state.used / state.capacity);
+  }
+  return max_util;
+}
+
+std::string ResourcePool::DebugString() const {
+  std::string out;
+  for (const BucketId& id : Buckets()) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%s=%.2f ",
+                  BucketIdToString(id).c_str(), Utilization(id));
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace quasaq::res

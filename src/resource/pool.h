@@ -1,0 +1,64 @@
+#ifndef QUASAQ_RESOURCE_POOL_H_
+#define QUASAQ_RESOURCE_POOL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/resource_vector.h"
+#include "common/status.h"
+
+// Registry of the system's resource buckets: each (site, kind) bucket
+// has a fixed capacity R_i and a current usage U_i. This is the state
+// the LRB cost model reads ("the height of the filled part of bucket i
+// is the percentage of resource i being used", paper §3.4) and the
+// state admission control mutates.
+
+namespace quasaq::res {
+
+class ResourcePool {
+ public:
+  /// Declares a bucket with capacity `capacity` (> 0). Re-declaring an
+  /// existing bucket resets its capacity but keeps its usage.
+  void DeclareBucket(const BucketId& bucket, double capacity);
+
+  bool HasBucket(const BucketId& bucket) const;
+  double Capacity(const BucketId& bucket) const;
+  double Used(const BucketId& bucket) const;
+
+  /// U_i / R_i for one bucket, in [0, 1] under normal operation.
+  double Utilization(const BucketId& bucket) const;
+
+  /// True when every entry of `demand` fits: U_i + r_i <= R_i for all
+  /// touched buckets (and every touched bucket is declared).
+  bool Fits(const ResourceVector& demand) const;
+
+  /// Atomically adds `demand` to usage. Fails with kResourceExhausted
+  /// (nothing is changed) when any bucket would overflow, and
+  /// kNotFound when `demand` touches an undeclared bucket.
+  Status Acquire(const ResourceVector& demand);
+
+  /// Subtracts `demand` from usage (clamped at zero).
+  void Release(const ResourceVector& demand);
+
+  /// All declared buckets in a stable order (sorted by id).
+  std::vector<BucketId> Buckets() const;
+
+  /// The highest utilization across all declared buckets.
+  double MaxUtilization() const;
+
+  /// Renders a one-line fill report, e.g. "site0/cpu=0.42 ...".
+  std::string DebugString() const;
+
+ private:
+  struct BucketState {
+    double capacity = 0.0;
+    double used = 0.0;
+  };
+
+  std::unordered_map<BucketId, BucketState> buckets_;
+};
+
+}  // namespace quasaq::res
+
+#endif  // QUASAQ_RESOURCE_POOL_H_

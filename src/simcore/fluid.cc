@@ -1,0 +1,132 @@
+#include "simcore/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace quasaq::sim {
+
+namespace {
+// Work below this many units counts as drained (guards float rounding).
+constexpr double kWorkEpsilon = 1e-6;
+}  // namespace
+
+FluidServer::FluidServer(Simulator* simulator, double capacity)
+    : simulator_(simulator), capacity_(capacity) {
+  assert(simulator_ != nullptr);
+  assert(capacity_ > 0.0);
+  last_update_ = simulator_->Now();
+}
+
+FlowId FluidServer::AddFlow(double total_work, double max_rate,
+                            CompletionCallback on_complete) {
+  assert(total_work > 0.0);
+  assert(max_rate > 0.0);
+  DrainProgress();
+  FlowId id = next_id_++;
+  flows_[id] = Flow{total_work, max_rate, 0.0, std::move(on_complete)};
+  Reschedule();
+  return id;
+}
+
+bool FluidServer::RemoveFlow(FlowId id) {
+  DrainProgress();
+  if (flows_.erase(id) == 0) return false;
+  Reschedule();
+  return true;
+}
+
+double FluidServer::CurrentRate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+double FluidServer::RemainingWork(FlowId id) const {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return 0.0;
+  double elapsed = SimTimeToSeconds(simulator_->Now() - last_update_);
+  return std::max(0.0, it->second.remaining - it->second.rate * elapsed);
+}
+
+double FluidServer::utilization() const {
+  double total = 0.0;
+  for (const auto& [id, flow] : flows_) total += flow.rate;
+  return std::min(1.0, total / capacity_);
+}
+
+void FluidServer::DrainProgress() {
+  SimTime now = simulator_->Now();
+  if (now == last_update_) return;
+  double elapsed = SimTimeToSeconds(now - last_update_);
+  for (auto& [id, flow] : flows_) {
+    flow.remaining = std::max(0.0, flow.remaining - flow.rate * elapsed);
+  }
+  last_update_ = now;
+}
+
+void FluidServer::RecomputeRates() {
+  // Max-min fair water-filling with per-flow caps: repeatedly give every
+  // unsaturated flow an equal share of what is left; flows capped below
+  // the share freeze at their cap.
+  std::vector<Flow*> unsat;
+  unsat.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    flow.rate = 0.0;
+    unsat.push_back(&flow);
+  }
+  double remaining_capacity = capacity_;
+  std::sort(unsat.begin(), unsat.end(), [](const Flow* a, const Flow* b) {
+    return a->max_rate < b->max_rate;
+  });
+  size_t left = unsat.size();
+  for (Flow* flow : unsat) {
+    double share = remaining_capacity / static_cast<double>(left);
+    flow->rate = std::min(flow->max_rate, share);
+    remaining_capacity -= flow->rate;
+    --left;
+  }
+}
+
+void FluidServer::Reschedule() {
+  RecomputeRates();
+  if (pending_completion_ != kInvalidEventId) {
+    simulator_->Cancel(pending_completion_);
+    pending_completion_ = kInvalidEventId;
+  }
+  // Find the earliest completion under the (now constant) rates.
+  double best_seconds = -1.0;
+  for (const auto& [id, flow] : flows_) {
+    if (flow.rate <= 0.0) continue;
+    double seconds = flow.remaining / flow.rate;
+    if (best_seconds < 0.0 || seconds < best_seconds) best_seconds = seconds;
+  }
+  if (best_seconds < 0.0) return;
+  // Never re-arm at a zero-microsecond delay: sub-microsecond residues
+  // would otherwise re-fire at the same timestamp forever (simulated
+  // time could not advance past them).
+  SimTime delay = std::max<SimTime>(1, SecondsToSimTime(best_seconds));
+  pending_completion_ =
+      simulator_->ScheduleAfter(delay, [this] { OnCompletionEvent(); });
+}
+
+void FluidServer::OnCompletionEvent() {
+  pending_completion_ = kInvalidEventId;
+  DrainProgress();
+  // Collect everything that drained (several flows can tie).
+  std::vector<std::pair<FlowId, CompletionCallback>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.remaining <= kWorkEpsilon) {
+      done.emplace_back(it->first, std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  Reschedule();
+  for (auto& [id, callback] : done) {
+    if (callback) callback(id);
+  }
+}
+
+}  // namespace quasaq::sim

@@ -1,0 +1,83 @@
+#ifndef QUASAQ_SIMCORE_FLUID_H_
+#define QUASAQ_SIMCORE_FLUID_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+#include "simcore/simulator.h"
+
+// Fluid (processor-sharing) model of a shared server. Concurrent flows —
+// streaming sessions on a server's outbound link, for example — split the
+// capacity max-min fairly, each bounded by its own demand cap. The model
+// captures the paper's throughput experiments: with no admission control
+// (plain VDBMS) a link admits everything and every job finishes late;
+// with admission control each admitted flow holds its full rate.
+
+namespace quasaq::sim {
+
+using FlowId = int64_t;
+inline constexpr FlowId kInvalidFlowId = 0;
+
+// One capacity shared by many finite flows. Work and rates share one
+// arbitrary unit (we use KB and KB/s); the solver recomputes the
+// allocation on every membership change and fires a callback when a flow
+// finishes its work.
+class FluidServer {
+ public:
+  using CompletionCallback = std::function<void(FlowId)>;
+
+  /// `capacity` must be positive (work units per second).
+  FluidServer(Simulator* simulator, double capacity);
+
+  FluidServer(const FluidServer&) = delete;
+  FluidServer& operator=(const FluidServer&) = delete;
+
+  /// Admits a flow needing `total_work` units, never served faster than
+  /// `max_rate` units/second. `on_complete` fires when the work drains.
+  FlowId AddFlow(double total_work, double max_rate,
+                 CompletionCallback on_complete);
+
+  /// Removes a flow before completion (no callback fires). Returns false
+  /// if the flow is unknown or already finished.
+  bool RemoveFlow(FlowId id);
+
+  /// Returns the current fair-share rate of `id` (0 if unknown).
+  double CurrentRate(FlowId id) const;
+
+  /// Returns the work remaining for `id` as of Now() (0 if unknown).
+  double RemainingWork(FlowId id) const;
+
+  size_t active_flows() const { return flows_.size(); }
+  double capacity() const { return capacity_; }
+
+  /// Returns the summed allocated rate divided by capacity, in [0, 1].
+  double utilization() const;
+
+ private:
+  struct Flow {
+    double remaining = 0.0;
+    double max_rate = 0.0;
+    double rate = 0.0;
+    CompletionCallback on_complete;
+  };
+
+  // Applies elapsed progress, recomputes the max-min allocation and
+  // re-arms the next completion event.
+  void Reschedule();
+  void DrainProgress();
+  void RecomputeRates();
+  void OnCompletionEvent();
+
+  Simulator* simulator_;
+  double capacity_;
+  FlowId next_id_ = 1;
+  SimTime last_update_ = 0;
+  EventId pending_completion_ = kInvalidEventId;
+  std::unordered_map<FlowId, Flow> flows_;
+};
+
+}  // namespace quasaq::sim
+
+#endif  // QUASAQ_SIMCORE_FLUID_H_

@@ -1,0 +1,88 @@
+#include "storage/disk_model.h"
+
+#include <cassert>
+
+namespace quasaq::storage {
+
+DiskModel::DiskModel(const Options& options) : options_(options) {
+  assert(options_.transfer_kbps > 0.0);
+  assert(options_.page_kb > 0.0);
+}
+
+SimTime DiskModel::ReadPages(int64_t first_page, int pages) {
+  assert(pages > 0);
+  ++total_reads_;
+  double ms = 0.0;
+  if (first_page == next_sequential_page_) {
+    ++sequential_reads_;
+  } else {
+    ms += options_.avg_seek_ms + options_.avg_rotational_ms;
+  }
+  ms += static_cast<double>(pages) * options_.page_kb /
+        options_.transfer_kbps * 1000.0;
+  next_sequential_page_ = first_page + pages;
+  return MillisToSimTime(ms);
+}
+
+BufferPool::BufferPool(DiskModel* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  assert(disk_ != nullptr);
+  assert(capacity_ > 0);
+}
+
+void BufferPool::Touch(int64_t page_key) {
+  auto it = entries_.find(page_key);
+  assert(it != entries_.end());
+  lru_.erase(it->second);
+  lru_.push_front(page_key);
+  it->second = lru_.begin();
+}
+
+void BufferPool::Insert(int64_t page_key) {
+  while (entries_.size() >= capacity_) {
+    int64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+  }
+  lru_.push_front(page_key);
+  entries_[page_key] = lru_.begin();
+}
+
+SimTime BufferPool::ReadPage(int64_t page_key) {
+  if (entries_.count(page_key) > 0) {
+    ++stats_.hits;
+    Touch(page_key);
+    return 0;
+  }
+  ++stats_.misses;
+  SimTime latency = disk_->ReadPages(page_key, 1);
+  Insert(page_key);
+  return latency;
+}
+
+SimTime BufferPool::ReadRange(int64_t first_key, int pages) {
+  assert(pages > 0);
+  SimTime latency = 0;
+  int run_start = -1;  // index into the range of the first missed page
+  for (int i = 0; i <= pages; ++i) {
+    bool miss = i < pages && entries_.count(first_key + i) == 0;
+    if (miss) {
+      ++stats_.misses;
+      if (run_start < 0) run_start = i;
+    } else {
+      if (i < pages) {
+        ++stats_.hits;
+        Touch(first_key + i);
+      }
+      if (run_start >= 0) {
+        // Coalesce the miss run into one sequential disk read.
+        latency += disk_->ReadPages(first_key + run_start, i - run_start);
+        for (int j = run_start; j < i; ++j) Insert(first_key + j);
+        run_start = -1;
+      }
+    }
+  }
+  return latency;
+}
+
+}  // namespace quasaq::storage

@@ -1,0 +1,95 @@
+#ifndef QUASAQ_STORAGE_DISK_MODEL_H_
+#define QUASAQ_STORAGE_DISK_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/sim_time.h"
+
+// Block-level disk and buffer-pool models — the Shore-like storage
+// substrate underneath the object store. The disk model charges seek +
+// rotational + transfer time per request, distinguishing sequential
+// from random access; the buffer pool is a pinned-page LRU cache in
+// front of it. Streaming reads are sequential and mostly buffered,
+// which is why disk bandwidth is rarely the LRB bottleneck — but the
+// model lets experiments verify that instead of assuming it.
+
+namespace quasaq::storage {
+
+// One spinning disk (2003-class: ~8 ms seek, ~60 MB/s transfer).
+class DiskModel {
+ public:
+  struct Options {
+    double avg_seek_ms = 8.0;
+    double avg_rotational_ms = 4.0;
+    double transfer_kbps = 60000.0;
+    double page_kb = 8.0;
+  };
+
+  DiskModel() : DiskModel(Options()) {}
+  explicit DiskModel(const Options& options);
+
+  /// Time to read `pages` pages starting at `first_page`. Consecutive
+  /// calls that continue where the previous read ended skip the seek.
+  SimTime ReadPages(int64_t first_page, int pages);
+
+  double page_kb() const { return options_.page_kb; }
+  uint64_t total_reads() const { return total_reads_; }
+  uint64_t sequential_reads() const { return sequential_reads_; }
+
+ private:
+  Options options_;
+  int64_t next_sequential_page_ = -1;
+  uint64_t total_reads_ = 0;
+  uint64_t sequential_reads_ = 0;
+};
+
+// Pinned-page LRU buffer pool over a DiskModel. Pages are identified by
+// (object, page index) flattened into one 64-bit key by the caller.
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+
+    double HitRate() const {
+      uint64_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) / total;
+    }
+  };
+
+  /// `capacity_pages` must be positive.
+  BufferPool(DiskModel* disk, size_t capacity_pages);
+
+  /// Reads one page, through the cache. Returns the simulated latency
+  /// (0 for hits).
+  SimTime ReadPage(int64_t page_key);
+
+  /// Reads `pages` consecutive pages starting at `first_key`; misses
+  /// are coalesced into sequential disk reads.
+  SimTime ReadRange(int64_t first_key, int pages);
+
+  bool Contains(int64_t page_key) const {
+    return entries_.count(page_key) > 0;
+  }
+  size_t resident_pages() const { return entries_.size(); }
+  size_t capacity_pages() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void Touch(int64_t page_key);
+  void Insert(int64_t page_key);
+
+  DiskModel* disk_;
+  size_t capacity_;
+  Stats stats_;
+  std::list<int64_t> lru_;  // front = most recent
+  std::unordered_map<int64_t, std::list<int64_t>::iterator> entries_;
+};
+
+}  // namespace quasaq::storage
+
+#endif  // QUASAQ_STORAGE_DISK_MODEL_H_

@@ -1,0 +1,46 @@
+#include "storage/object_store.h"
+
+namespace quasaq::storage {
+
+ObjectStore::ObjectStore(SiteId site, double capacity_kb)
+    : site_(site), capacity_kb_(capacity_kb) {}
+
+Status ObjectStore::Put(const media::ReplicaInfo& replica) {
+  if (replica.site != site_) {
+    return Status::InvalidArgument("replica belongs to another site");
+  }
+  if (objects_.count(replica.id) > 0) {
+    return Status::AlreadyExists("physical OID already stored");
+  }
+  if (capacity_kb_ > 0.0 && used_kb_ + replica.size_kb > capacity_kb_) {
+    return Status::ResourceExhausted("storage space exhausted");
+  }
+  used_kb_ += replica.size_kb;
+  objects_.emplace(replica.id, replica);
+  return Status::Ok();
+}
+
+Status ObjectStore::Delete(PhysicalOid id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) return Status::NotFound("no such physical OID");
+  used_kb_ -= it->second.size_kb;
+  if (used_kb_ < 0.0) used_kb_ = 0.0;
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+const media::ReplicaInfo* ObjectStore::Get(PhysicalOid id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? nullptr : &it->second;
+}
+
+std::vector<const media::ReplicaInfo*> ObjectStore::ReplicasOf(
+    LogicalOid content) const {
+  std::vector<const media::ReplicaInfo*> out;
+  for (const auto& [id, replica] : objects_) {
+    if (replica.content == content) out.push_back(&replica);
+  }
+  return out;
+}
+
+}  // namespace quasaq::storage

@@ -1,0 +1,56 @@
+#ifndef QUASAQ_STORAGE_OBJECT_STORE_H_
+#define QUASAQ_STORAGE_OBJECT_STORE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/status.h"
+#include "media/video.h"
+
+// Per-site media object store — the stand-in for the Shore storage
+// manager underneath VDBMS. Stores physical replicas keyed by physical
+// OID and enforces a storage-space budget (replication is constrained by
+// disk space; paper §2 item 1).
+
+namespace quasaq::storage {
+
+// One site's replica store. Owns the ReplicaInfo records for objects
+// physically present at the site.
+class ObjectStore {
+ public:
+  /// `capacity_kb` <= 0 means unlimited space.
+  explicit ObjectStore(SiteId site, double capacity_kb = 0.0);
+
+  SiteId site() const { return site_; }
+
+  /// Stores a replica. Fails with kInvalidArgument if the replica's site
+  /// does not match, kAlreadyExists on duplicate OID, and
+  /// kResourceExhausted when space would be exceeded.
+  Status Put(const media::ReplicaInfo& replica);
+
+  /// Removes a replica, reclaiming its space.
+  Status Delete(PhysicalOid id);
+
+  /// Returns the replica record, or nullptr when not stored here.
+  const media::ReplicaInfo* Get(PhysicalOid id) const;
+
+  bool Contains(PhysicalOid id) const { return Get(id) != nullptr; }
+
+  /// Returns every replica of `content` stored at this site.
+  std::vector<const media::ReplicaInfo*> ReplicasOf(LogicalOid content) const;
+
+  size_t object_count() const { return objects_.size(); }
+  double used_kb() const { return used_kb_; }
+  double capacity_kb() const { return capacity_kb_; }
+
+ private:
+  SiteId site_;
+  double capacity_kb_;
+  double used_kb_ = 0.0;
+  std::unordered_map<PhysicalOid, media::ReplicaInfo> objects_;
+};
+
+}  // namespace quasaq::storage
+
+#endif  // QUASAQ_STORAGE_OBJECT_STORE_H_

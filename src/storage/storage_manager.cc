@@ -1,0 +1,49 @@
+#include "storage/storage_manager.h"
+
+namespace quasaq::storage {
+
+StorageManager::StorageManager(SiteId site, const Options& options)
+    : options_(options),
+      store_(site, options.capacity_kb),
+      disk_(options.disk),
+      buffer_pool_(&disk_, options.buffer_pool_pages) {}
+
+Result<SimTime> StorageManager::ReadObjectPages(PhysicalOid id,
+                                                int64_t first_page,
+                                                int pages) {
+  const media::ReplicaInfo* replica = store_.Get(id);
+  if (replica == nullptr) {
+    return Status::NotFound("object not stored at this site");
+  }
+  if (pages <= 0 || first_page < 0) {
+    return Status::InvalidArgument("bad page range");
+  }
+  int64_t total_pages = static_cast<int64_t>(
+      replica->size_kb / disk_.page_kb() + 1.0);
+  if (first_page + pages > total_pages) {
+    return Status::InvalidArgument("page range beyond object end");
+  }
+  // Flatten (object, page) into the pool's global key space. 16M pages
+  // per object (128 GB at 8 KB pages) is far beyond any media object.
+  int64_t key = id.value() * (int64_t{1} << 24) + first_page;
+  return buffer_pool_.ReadRange(key, pages);
+}
+
+Status StorageManager::CommitRead(PhysicalOid id, double kbps) {
+  if (!store_.Contains(id)) {
+    return Status::NotFound("object not stored at this site");
+  }
+  if (kbps < 0.0) return Status::InvalidArgument("negative bandwidth");
+  if (committed_read_kbps_ + kbps > options_.disk_bandwidth_kbps) {
+    return Status::ResourceExhausted("disk read bandwidth exhausted");
+  }
+  committed_read_kbps_ += kbps;
+  return Status::Ok();
+}
+
+void StorageManager::ReleaseRead(double kbps) {
+  committed_read_kbps_ -= kbps;
+  if (committed_read_kbps_ < 0.0) committed_read_kbps_ = 0.0;
+}
+
+}  // namespace quasaq::storage

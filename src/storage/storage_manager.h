@@ -1,0 +1,74 @@
+#ifndef QUASAQ_STORAGE_STORAGE_MANAGER_H_
+#define QUASAQ_STORAGE_STORAGE_MANAGER_H_
+
+#include <memory>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "storage/disk_model.h"
+#include "storage/object_store.h"
+
+// Site storage manager: the object store plus the disk-bandwidth model.
+// Streaming a replica continuously reads it from disk at its bitrate;
+// the manager tracks how much sequential read bandwidth is committed so
+// that admission control can treat disk bandwidth as a resource bucket.
+
+namespace quasaq::storage {
+
+// One site's storage subsystem ("Shore" stand-in).
+class StorageManager {
+ public:
+  struct Options {
+    // Sustained sequential read bandwidth of the site's disks, KB/s
+    // (the admission-control budget; the block-level DiskModel below
+    // models per-request latency).
+    double disk_bandwidth_kbps = 20000.0;
+    // Storage space budget; <= 0 means unlimited.
+    double capacity_kb = 0.0;
+    // Buffer pool size in pages (DiskModel::Options::page_kb each).
+    size_t buffer_pool_pages = 4096;
+    DiskModel::Options disk;
+  };
+
+  StorageManager(SiteId site, const Options& options);
+
+  SiteId site() const { return store_.site(); }
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+  double disk_bandwidth_kbps() const { return options_.disk_bandwidth_kbps; }
+  double committed_read_kbps() const { return committed_read_kbps_; }
+  double available_read_kbps() const {
+    return options_.disk_bandwidth_kbps - committed_read_kbps_;
+  }
+
+  /// Commits `kbps` of sequential read bandwidth for the lifetime of a
+  /// streaming session. Fails with kResourceExhausted when the disk is
+  /// fully committed, kNotFound when the object is not stored here.
+  Status CommitRead(PhysicalOid id, double kbps);
+
+  /// Releases bandwidth committed via CommitRead.
+  void ReleaseRead(double kbps);
+
+  /// Block-level read of `pages` pages of object `id` starting at page
+  /// `first_page`, through the buffer pool. Returns the simulated I/O
+  /// latency. Fails with kNotFound for objects not stored here and
+  /// kInvalidArgument for out-of-range pages.
+  Result<SimTime> ReadObjectPages(PhysicalOid id, int64_t first_page,
+                                  int pages);
+
+  const BufferPool& buffer_pool() const { return buffer_pool_; }
+  const DiskModel& disk_model() const { return disk_; }
+
+ private:
+  Options options_;
+  ObjectStore store_;
+  DiskModel disk_;
+  BufferPool buffer_pool_;
+  double committed_read_kbps_ = 0.0;
+};
+
+}  // namespace quasaq::storage
+
+#endif  // QUASAQ_STORAGE_STORAGE_MANAGER_H_

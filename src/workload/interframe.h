@@ -1,0 +1,84 @@
+#ifndef QUASAQ_WORKLOAD_INTERFRAME_H_
+#define QUASAQ_WORKLOAD_INTERFRAME_H_
+
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/stats.h"
+
+// Frame-level QoS experiment driver (Figure 5 / Table 2): streams one
+// measured video while a configurable contention level competes for the
+// server CPU. Contention has three ingredients, mirroring a loaded
+// VDBMS server:
+//   * concurrent streaming sessions (per-frame work, 10 ms quanta),
+//   * query-processing tasks — content-based search, shot detection —
+//     that keep several run-queue slots busy (10 ms quanta),
+//   * occasional CPU hogs whose decayed Solaris TS priority earns them
+//     long (200 ms) quanta, starving interactive jobs for up to ~1 s.
+// In VDBMS mode everything shares the time-sharing scheduler; in QuaSAQ
+// mode the streams hold DSRT-style reservations with strict priority and
+// the time-sharing load only gets leftovers.
+
+namespace quasaq::workload {
+
+// Background load of one contention level.
+struct ContentionLevel {
+  int background_streams = 0;
+  // Query-processing load: `query_tasks` workers, each receiving Poisson
+  // jobs at `query_jobs_per_second` with uniform work in [min, max] ms.
+  int query_tasks = 0;
+  double query_jobs_per_second = 0.0;
+  double query_work_min_ms = 0.0;
+  double query_work_max_ms = 0.0;
+  // CPU-hog load (long-quantum batch processes).
+  int hog_tasks = 0;
+  double hog_jobs_per_second = 0.0;
+  double hog_work_min_ms = 0.0;
+  double hog_work_max_ms = 0.0;
+};
+
+struct InterframeOptions {
+  bool quasaq = false;           // false = original VDBMS CPU path
+  bool high_contention = false;
+  int measured_frames = 1050;
+  ContentionLevel low{
+      .background_streams = 2,
+      .query_tasks = 3,
+      .query_jobs_per_second = 2.0,
+      .query_work_min_ms = 20.0,
+      .query_work_max_ms = 120.0,
+      .hog_tasks = 1,
+      .hog_jobs_per_second = 0.30,
+      .hog_work_min_ms = 100.0,
+      .hog_work_max_ms = 350.0,
+  };
+  ContentionLevel high{
+      .background_streams = 10,
+      .query_tasks = 5,
+      .query_jobs_per_second = 7.0,
+      .query_work_min_ms = 50.0,
+      .query_work_max_ms = 200.0,
+      .hog_tasks = 2,
+      .hog_jobs_per_second = 1.0,
+      .hog_work_min_ms = 800.0,
+      .hog_work_max_ms = 1200.0,
+  };
+  double hog_quantum_ms = 200.0;
+  uint64_t seed = 11;
+};
+
+struct InterframeResult {
+  // Server-side completion time of each delivered frame of the
+  // measured stream.
+  std::vector<SimTime> frame_times;
+  RunningStats interframe_ms;
+  RunningStats intergop_ms;
+  double ideal_interframe_ms = 0.0;  // 1000 / frame rate
+  bool measured_finished = false;
+};
+
+InterframeResult RunInterframeExperiment(const InterframeOptions& options);
+
+}  // namespace quasaq::workload
+
+#endif  // QUASAQ_WORKLOAD_INTERFRAME_H_

@@ -1,0 +1,62 @@
+#include "workload/throughput.h"
+
+#include <memory>
+
+#include "core/utility.h"
+
+namespace quasaq::workload {
+
+ThroughputResult RunThroughputExperiment(const ThroughputOptions& options) {
+  sim::Simulator simulator;
+  core::MediaDbSystem system(&simulator, options.system);
+  TrafficGenerator traffic(options.traffic, options.system.library.num_videos,
+                           options.system.topology.SiteIds());
+
+  ThroughputResult result;
+  RunningStats delivered_kbps;
+  RunningStats utility;
+
+  system.set_on_session_complete(
+      [&result](SessionId, SimTime when) { result.completions.AddEvent(when); });
+
+  const core::UserProfile* profile =
+      options.enable_renegotiation_profile ? &traffic.profile() : nullptr;
+
+  // Recursive arrival event: submit one query, schedule the next.
+  std::function<void()> arrive = [&] {
+    QuerySpec spec = traffic.Next();
+    core::MediaDbSystem::DeliveryOutcome outcome =
+        system.SubmitDelivery(spec.client_site, spec.content, spec.qos,
+                              profile);
+    if (outcome.status.ok()) {
+      delivered_kbps.Add(outcome.wire_rate_kbps);
+      utility.Add(core::PresentationUtility(outcome.delivered_qos,
+                                            spec.qos.range));
+    }
+    SimTime gap = SecondsToSimTime(traffic.NextGapSeconds());
+    if (simulator.Now() + gap < options.horizon) {
+      simulator.ScheduleAfter(gap, arrive);
+    }
+  };
+  simulator.ScheduleAfter(SecondsToSimTime(traffic.NextGapSeconds()), arrive);
+
+  sim::PeriodicTask sampler(&simulator, options.sample_period, [&] {
+    result.outstanding.Add(simulator.Now(),
+                           system.outstanding_sessions());
+    result.cumulative_rejects.Add(
+        simulator.Now(), static_cast<double>(system.stats().rejected));
+  });
+
+  simulator.RunUntil(options.horizon);
+  sampler.Stop();
+
+  result.system_stats = system.stats();
+  if (system.quality_manager() != nullptr) {
+    result.quality_stats = system.quality_manager()->stats();
+  }
+  result.mean_delivered_kbps = delivered_kbps.mean();
+  result.mean_utility = utility.mean();
+  return result;
+}
+
+}  // namespace quasaq::workload

@@ -1,0 +1,41 @@
+#ifndef QUASAQ_WORKLOAD_THROUGHPUT_H_
+#define QUASAQ_WORKLOAD_THROUGHPUT_H_
+
+#include "common/stats.h"
+#include "core/system.h"
+#include "workload/traffic.h"
+
+// Session-level throughput experiment driver, shared by the Figure 6
+// (system comparison) and Figure 7 (cost-model comparison) harnesses.
+// Feeds a Poisson query stream into one MediaDbSystem and samples
+// outstanding sessions, accomplished jobs per minute, and cumulative
+// rejects over simulated time.
+
+namespace quasaq::workload {
+
+struct ThroughputOptions {
+  core::MediaDbSystem::Options system;
+  TrafficOptions traffic;
+  SimTime horizon = 1000 * kSecond;
+  SimTime sample_period = 5 * kSecond;
+  bool enable_renegotiation_profile = true;
+};
+
+struct ThroughputResult {
+  TimeSeries outstanding;        // sessions over time
+  TimeSeries cumulative_rejects; // rejected queries over time
+  WindowedRate completions{kMinute};  // accomplished jobs per minute
+  core::MediaDbSystem::Stats system_stats;
+  core::QualityManager::Stats quality_stats;  // zero for non-QuaSAQ
+  double mean_delivered_kbps = 0.0;  // average admitted wire rate
+  // Average presentation utility of admitted sessions (delivered quality
+  // scored against the query's acceptable window).
+  double mean_utility = 0.0;
+};
+
+/// Runs one experiment to `options.horizon` and returns its metrics.
+ThroughputResult RunThroughputExperiment(const ThroughputOptions& options);
+
+}  // namespace quasaq::workload
+
+#endif  // QUASAQ_WORKLOAD_THROUGHPUT_H_

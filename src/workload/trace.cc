@@ -1,0 +1,178 @@
+#include "workload/trace.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstdio>
+#include <sstream>
+
+namespace quasaq::workload {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+Result<core::QopLevel> ParseLevel(std::string_view text) {
+  if (text == "low") return core::QopLevel::kLow;
+  if (text == "medium") return core::QopLevel::kMedium;
+  if (text == "high") return core::QopLevel::kHigh;
+  return Status::InvalidArgument("bad QoP level '" + std::string(text) +
+                                 "'");
+}
+
+std::string_view LevelName(core::QopLevel level) {
+  return core::QopLevelName(level);
+}
+
+Result<media::SecurityLevel> ParseSecurity(std::string_view text) {
+  if (text == "none") return media::SecurityLevel::kNone;
+  if (text == "standard") return media::SecurityLevel::kStandard;
+  if (text == "strong") return media::SecurityLevel::kStrong;
+  return Status::InvalidArgument("bad security level '" +
+                                 std::string(text) + "'");
+}
+
+std::string_view SecurityName(media::SecurityLevel level) {
+  switch (level) {
+    case media::SecurityLevel::kNone:
+      return "none";
+    case media::SecurityLevel::kStandard:
+      return "standard";
+    case media::SecurityLevel::kStrong:
+      return "strong";
+  }
+  return "none";
+}
+
+}  // namespace
+
+Result<std::vector<TraceEntry>> ParseTrace(
+    std::string_view text, const core::UserProfile& profile) {
+  std::vector<TraceEntry> entries;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+
+    std::vector<std::string_view> fields;
+    size_t field_start = 0;
+    while (field_start <= line.size()) {
+      size_t comma = line.find(',', field_start);
+      if (comma == std::string_view::npos) comma = line.size();
+      fields.push_back(Trim(line.substr(field_start, comma - field_start)));
+      field_start = comma + 1;
+    }
+    if (fields.size() != 8) {
+      return Status::InvalidArgument(
+          "trace line " + std::to_string(line_number) + ": expected 8 "
+          "fields, got " + std::to_string(fields.size()));
+    }
+    TraceEntry entry;
+    char* parse_end = nullptr;
+    std::string arrival(fields[0]);
+    entry.arrival_seconds = std::strtod(arrival.c_str(), &parse_end);
+    if (parse_end == arrival.c_str() || entry.arrival_seconds < 0.0) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(line_number) +
+                                     ": bad arrival time");
+    }
+    entry.spec.content = LogicalOid(std::atoll(std::string(fields[1]).c_str()));
+    entry.spec.client_site =
+        SiteId(std::atoll(std::string(fields[2]).c_str()));
+    if (!entry.spec.content.valid() || !entry.spec.client_site.valid()) {
+      return Status::InvalidArgument("trace line " +
+                                     std::to_string(line_number) +
+                                     ": bad video/site id");
+    }
+    Result<core::QopLevel> spatial = ParseLevel(fields[3]);
+    Result<core::QopLevel> temporal = ParseLevel(fields[4]);
+    Result<core::QopLevel> color = ParseLevel(fields[5]);
+    Result<core::QopLevel> audio = ParseLevel(fields[6]);
+    Result<media::SecurityLevel> security = ParseSecurity(fields[7]);
+    for (const Status& status :
+         {spatial.status(), temporal.status(), color.status(),
+          audio.status(), security.status()}) {
+      if (!status.ok()) {
+        return Status::InvalidArgument(
+            "trace line " + std::to_string(line_number) + ": " +
+            status.message());
+      }
+    }
+    entry.spec.qop.spatial = *spatial;
+    entry.spec.qop.temporal = *temporal;
+    entry.spec.qop.color = *color;
+    entry.spec.qop.audio = *audio;
+    entry.spec.qop.security = *security;
+    entry.spec.qos.range = profile.Translate(entry.spec.qop);
+    entry.spec.qos.min_security = *security;
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+std::string FormatTrace(const std::vector<TraceEntry>& entries) {
+  std::ostringstream out;
+  out << "# arrival_seconds,video,client_site,spatial,temporal,color,"
+         "audio,security\n";
+  for (const TraceEntry& entry : entries) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", entry.arrival_seconds);
+    out << buf << ',' << entry.spec.content.value() << ','
+        << entry.spec.client_site.value() << ','
+        << LevelName(entry.spec.qop.spatial) << ','
+        << LevelName(entry.spec.qop.temporal) << ','
+        << LevelName(entry.spec.qop.color) << ','
+        << LevelName(entry.spec.qop.audio) << ','
+        << SecurityName(entry.spec.qop.security) << '\n';
+  }
+  return out.str();
+}
+
+std::vector<TraceEntry> RecordTrace(TrafficGenerator& generator, int count) {
+  std::vector<TraceEntry> entries;
+  entries.reserve(static_cast<size_t>(count));
+  double clock = 0.0;
+  for (int i = 0; i < count; ++i) {
+    clock += generator.NextGapSeconds();
+    TraceEntry entry;
+    entry.arrival_seconds = clock;
+    entry.spec = generator.Next();
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+TraceReplayResult ReplayTrace(const std::vector<TraceEntry>& entries,
+                              core::MediaDbSystem& system,
+                              sim::Simulator& simulator,
+                              const core::UserProfile* profile) {
+  TraceReplayResult result;
+  for (const TraceEntry& entry : entries) {
+    simulator.ScheduleAt(
+        SecondsToSimTime(entry.arrival_seconds),
+        [&system, &result, &entry, profile] {
+          core::MediaDbSystem::DeliveryOutcome outcome =
+              system.SubmitDelivery(entry.spec.client_site,
+                                    entry.spec.content, entry.spec.qos,
+                                    profile);
+          outcome.status.ok() ? ++result.admitted : ++result.rejected;
+        });
+  }
+  simulator.RunAll();
+  result.stats = system.stats();
+  return result;
+}
+
+}  // namespace quasaq::workload

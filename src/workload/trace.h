@@ -1,0 +1,58 @@
+#ifndef QUASAQ_WORKLOAD_TRACE_H_
+#define QUASAQ_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/system.h"
+#include "workload/traffic.h"
+
+// Trace-driven workloads: a recorded query stream that can be replayed
+// bit-identically against any system configuration. Traces make
+// cross-configuration comparisons airtight (every system sees the same
+// queries at the same instants) and let external workloads be plugged
+// into the harnesses.
+//
+// Text format, one query per line ('#' starts a comment):
+//
+//   arrival_seconds,video,client_site,spatial,temporal,color,audio,security
+//   12.5,3,0,high,medium,low,medium,none
+
+namespace quasaq::workload {
+
+struct TraceEntry {
+  double arrival_seconds = 0.0;
+  QuerySpec spec;
+};
+
+/// Parses a trace from text. QoP levels are translated to application
+/// QoS through `profile`. Fails with kInvalidArgument naming the bad
+/// line.
+Result<std::vector<TraceEntry>> ParseTrace(
+    std::string_view text, const core::UserProfile& profile);
+
+/// Renders entries in the canonical text format (ParseTrace's inverse).
+std::string FormatTrace(const std::vector<TraceEntry>& entries);
+
+/// Records `count` queries from a generator as a trace (arrival times
+/// accumulate the generator's gaps).
+std::vector<TraceEntry> RecordTrace(TrafficGenerator& generator, int count);
+
+struct TraceReplayResult {
+  core::MediaDbSystem::Stats stats;
+  int admitted = 0;
+  int rejected = 0;
+};
+
+/// Replays a trace against `system` on `simulator`, then runs the
+/// simulation to completion. `profile` enables renegotiation.
+TraceReplayResult ReplayTrace(const std::vector<TraceEntry>& entries,
+                              core::MediaDbSystem& system,
+                              sim::Simulator& simulator,
+                              const core::UserProfile* profile = nullptr);
+
+}  // namespace quasaq::workload
+
+#endif  // QUASAQ_WORKLOAD_TRACE_H_

@@ -1,0 +1,52 @@
+#include "workload/traffic.h"
+
+#include <cassert>
+
+namespace quasaq::workload {
+
+TrafficGenerator::TrafficGenerator(const TrafficOptions& options,
+                                   int num_videos, std::vector<SiteId> sites)
+    : options_(options),
+      num_videos_(num_videos),
+      sites_(std::move(sites)),
+      rng_(options.seed),
+      profile_(UserId(0), "traffic-default") {
+  assert(num_videos_ > 0);
+  assert(!sites_.empty());
+}
+
+double TrafficGenerator::NextGapSeconds() {
+  return rng_.Exponential(options_.mean_interarrival_seconds);
+}
+
+QuerySpec TrafficGenerator::Next() {
+  QuerySpec spec;
+  if (options_.video_zipf_s > 0.0) {
+    spec.content = LogicalOid(static_cast<int64_t>(
+        rng_.Zipf(static_cast<size_t>(num_videos_), options_.video_zipf_s)));
+  } else {
+    spec.content = LogicalOid(rng_.UniformInt(0, num_videos_ - 1));
+  }
+  spec.client_site =
+      sites_[static_cast<size_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(sites_.size()) - 1))];
+
+  auto level = [this] {
+    return static_cast<core::QopLevel>(rng_.UniformInt(0, 2));
+  };
+  spec.qop.spatial = level();
+  spec.qop.temporal = level();
+  spec.qop.color = level();
+  spec.qop.audio = level();
+  if (options_.fraction_secure > 0.0 &&
+      rng_.Bernoulli(options_.fraction_secure)) {
+    spec.qop.security = rng_.Bernoulli(0.5)
+                            ? media::SecurityLevel::kStandard
+                            : media::SecurityLevel::kStrong;
+  }
+  spec.qos.range = profile_.Translate(spec.qop);
+  spec.qos.min_security = spec.qop.security;
+  return spec;
+}
+
+}  // namespace quasaq::workload

@@ -1,0 +1,62 @@
+#ifndef QUASAQ_WORKLOAD_TRAFFIC_H_
+#define QUASAQ_WORKLOAD_TRAFFIC_H_
+
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+#include "core/qop.h"
+#include "query/ast.h"
+
+// Traffic generator (paper §5: "the queries for the experiments are from
+// a traffic generator"): Poisson arrivals with mean inter-arrival 1 s,
+// uniform access over the videos, and QoS parameters uniformly
+// distributed in their valid range. Zipf skew and a secure-query
+// fraction are available as extensions beyond the paper's setup.
+
+namespace quasaq::workload {
+
+struct TrafficOptions {
+  double mean_interarrival_seconds = 1.0;
+  // 0 = uniform video popularity (the paper's setting).
+  double video_zipf_s = 0.0;
+  // Fraction of queries requesting standard/strong security.
+  double fraction_secure = 0.0;
+  uint64_t seed = 42;
+};
+
+// One generated QoS-aware query.
+struct QuerySpec {
+  LogicalOid content;
+  SiteId client_site;
+  core::QopRequest qop;           // the qualitative request
+  query::QosRequirement qos;      // its application-QoS translation
+};
+
+class TrafficGenerator {
+ public:
+  TrafficGenerator(const TrafficOptions& options, int num_videos,
+                   std::vector<SiteId> sites);
+
+  /// Draws the gap to the next query arrival (exponential).
+  double NextGapSeconds();
+
+  /// Draws the next query: uniform (or Zipf) video, uniform client
+  /// site, uniform QoP level per axis translated through the default
+  /// profile.
+  QuerySpec Next();
+
+  /// The profile used for QoP translation and renegotiation weights.
+  const core::UserProfile& profile() const { return profile_; }
+
+ private:
+  TrafficOptions options_;
+  int num_videos_;
+  std::vector<SiteId> sites_;
+  Rng rng_;
+  core::UserProfile profile_;
+};
+
+}  // namespace quasaq::workload
+
+#endif  // QUASAQ_WORKLOAD_TRAFFIC_H_

@@ -1,0 +1,135 @@
+#include "storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+#include "media/library.h"
+#include "storage/storage_manager.h"
+
+namespace quasaq::storage {
+namespace {
+
+TEST(DiskModelTest, RandomReadPaysSeek) {
+  DiskModel disk;
+  SimTime random1 = disk.ReadPages(0, 1);
+  SimTime random2 = disk.ReadPages(1000, 1);
+  // Both include seek + rotation (~12 ms) + transfer.
+  EXPECT_GT(random1, MillisToSimTime(11.0));
+  EXPECT_GT(random2, MillisToSimTime(11.0));
+}
+
+TEST(DiskModelTest, SequentialContinuationSkipsSeek) {
+  DiskModel disk;
+  disk.ReadPages(0, 4);
+  SimTime sequential = disk.ReadPages(4, 4);
+  // 4 pages x 8 KB at 60 MB/s ~ 0.53 ms, no seek.
+  EXPECT_LT(sequential, MillisToSimTime(1.0));
+  EXPECT_EQ(disk.sequential_reads(), 1u);
+  EXPECT_EQ(disk.total_reads(), 2u);
+}
+
+TEST(DiskModelTest, TransferScalesWithPages) {
+  DiskModel disk;
+  disk.ReadPages(0, 1);
+  SimTime small = disk.ReadPages(1, 10);
+  SimTime large = disk.ReadPages(11, 100);
+  EXPECT_GT(large, small * 5);
+}
+
+TEST(BufferPoolTest, MissThenHit) {
+  DiskModel disk;
+  BufferPool pool(&disk, 16);
+  SimTime miss = pool.ReadPage(42);
+  EXPECT_GT(miss, 0);
+  SimTime hit = pool.ReadPage(42);
+  EXPECT_EQ(hit, 0);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_DOUBLE_EQ(pool.stats().HitRate(), 0.5);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  DiskModel disk;
+  BufferPool pool(&disk, 2);
+  pool.ReadPage(1);
+  pool.ReadPage(2);
+  pool.ReadPage(1);  // 1 is now most recent
+  pool.ReadPage(3);  // evicts 2
+  EXPECT_TRUE(pool.Contains(1));
+  EXPECT_FALSE(pool.Contains(2));
+  EXPECT_TRUE(pool.Contains(3));
+  EXPECT_EQ(pool.resident_pages(), 2u);
+}
+
+TEST(BufferPoolTest, RangeReadCoalescesMisses) {
+  DiskModel disk;
+  BufferPool pool(&disk, 64);
+  SimTime cold = pool.ReadRange(0, 16);
+  EXPECT_GT(cold, 0);
+  // One coalesced sequential read, not 16 random ones.
+  EXPECT_EQ(disk.total_reads(), 1u);
+  SimTime warm = pool.ReadRange(0, 16);
+  EXPECT_EQ(warm, 0);
+  EXPECT_EQ(pool.stats().hits, 16u);
+}
+
+TEST(BufferPoolTest, PartialRangeOnlyFetchesMissingRuns) {
+  DiskModel disk;
+  BufferPool pool(&disk, 64);
+  pool.ReadPage(5);  // warm one page in the middle
+  uint64_t reads_before = disk.total_reads();
+  pool.ReadRange(0, 10);
+  // Two runs around the cached page 5.
+  EXPECT_EQ(disk.total_reads(), reads_before + 2);
+}
+
+TEST(StorageManagerBlockReadTest, StreamingReadIsMostlySequential) {
+  StorageManager manager(SiteId(0), StorageManager::Options());
+  media::ReplicaInfo replica;
+  replica.id = PhysicalOid(1);
+  replica.content = LogicalOid(1);
+  replica.site = SiteId(0);
+  replica.qos = media::QualityLadder::Standard().levels[1];
+  replica.duration_seconds = 60.0;
+  media::FinalizeReplicaSizing(replica);
+  ASSERT_TRUE(manager.store().Put(replica).ok());
+
+  // Stream the object one second at a time (~15 pages per call).
+  SimTime total_latency = 0;
+  int pages_per_call =
+      static_cast<int>(replica.bitrate_kbps / 8.0) + 1;
+  int calls = 50;
+  for (int i = 0; i < calls; ++i) {
+    Result<SimTime> latency = manager.ReadObjectPages(
+        replica.id, static_cast<int64_t>(i) * pages_per_call,
+        pages_per_call);
+    ASSERT_TRUE(latency.ok()) << latency.status().ToString();
+    total_latency += *latency;
+  }
+  // 50 s of a ~119 KB/s stream from a 60 MB/s disk: total I/O far below
+  // real time (one seek + mostly sequential transfer).
+  EXPECT_LT(total_latency, SecondsToSimTime(1.0));
+  EXPECT_GT(manager.disk_model().sequential_reads(), 40u);
+}
+
+TEST(StorageManagerBlockReadTest, ErrorsOnBadInputs) {
+  StorageManager manager(SiteId(0), StorageManager::Options());
+  EXPECT_EQ(manager.ReadObjectPages(PhysicalOid(9), 0, 1).status().code(),
+            StatusCode::kNotFound);
+  media::ReplicaInfo replica;
+  replica.id = PhysicalOid(1);
+  replica.content = LogicalOid(1);
+  replica.site = SiteId(0);
+  replica.qos = media::QualityLadder::Standard().levels[3];
+  replica.duration_seconds = 10.0;
+  media::FinalizeReplicaSizing(replica);
+  ASSERT_TRUE(manager.store().Put(replica).ok());
+  EXPECT_EQ(
+      manager.ReadObjectPages(replica.id, -1, 1).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      manager.ReadObjectPages(replica.id, 0, 1 << 20).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace quasaq::storage

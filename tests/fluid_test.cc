@@ -1,0 +1,142 @@
+#include "simcore/fluid.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_time.h"
+
+namespace quasaq::sim {
+namespace {
+
+TEST(FluidServerTest, SingleFlowCompletesAtWorkOverRate) {
+  Simulator simulator;
+  FluidServer server(&simulator, 1000.0);
+  SimTime completed_at = -1;
+  server.AddFlow(100.0, 50.0, [&](FlowId) { completed_at = simulator.Now(); });
+  simulator.RunAll();
+  // 100 units at a 50/s cap on a 1000/s server -> 2 seconds.
+  EXPECT_EQ(completed_at, 2 * kSecond);
+}
+
+TEST(FluidServerTest, UncappedFlowUsesFullCapacity) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  SimTime completed_at = -1;
+  server.AddFlow(100.0, 1e9, [&](FlowId) { completed_at = simulator.Now(); });
+  simulator.RunAll();
+  EXPECT_EQ(completed_at, kSecond);
+}
+
+TEST(FluidServerTest, TwoEqualFlowsShareCapacity) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 2; ++i) {
+    server.AddFlow(100.0, 1e9,
+                   [&](FlowId) { completions.push_back(simulator.Now()); });
+  }
+  simulator.RunAll();
+  ASSERT_EQ(completions.size(), 2u);
+  // Each gets 50/s -> both finish at 2 s.
+  EXPECT_EQ(completions[0], 2 * kSecond);
+  EXPECT_EQ(completions[1], 2 * kSecond);
+}
+
+TEST(FluidServerTest, MaxMinFairnessRespectsCaps) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  // One flow capped at 10/s, one uncapped: rates should be 10 and 90.
+  FlowId small = server.AddFlow(1000.0, 10.0, nullptr);
+  FlowId big = server.AddFlow(1000.0, 1e9, nullptr);
+  EXPECT_NEAR(server.CurrentRate(small), 10.0, 1e-9);
+  EXPECT_NEAR(server.CurrentRate(big), 90.0, 1e-9);
+}
+
+TEST(FluidServerTest, RatesRecomputeOnDeparture) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  FlowId a = server.AddFlow(1000.0, 1e9, nullptr);
+  FlowId b = server.AddFlow(1000.0, 1e9, nullptr);
+  EXPECT_NEAR(server.CurrentRate(a), 50.0, 1e-9);
+  EXPECT_TRUE(server.RemoveFlow(b));
+  EXPECT_NEAR(server.CurrentRate(a), 100.0, 1e-9);
+}
+
+TEST(FluidServerTest, DepartureAccelerartesRemainingFlow) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  SimTime slow_done = -1;
+  // Short flow finishes at t=1s (50/s each); long flow then speeds up.
+  server.AddFlow(50.0, 1e9, nullptr);
+  server.AddFlow(150.0, 1e9,
+                 [&](FlowId) { slow_done = simulator.Now(); });
+  simulator.RunAll();
+  // Long flow: 50 units in the first second, the remaining 100 at 100/s.
+  EXPECT_EQ(slow_done, 2 * kSecond);
+}
+
+TEST(FluidServerTest, RemainingWorkTracksProgress) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  FlowId id = server.AddFlow(100.0, 1e9, nullptr);
+  simulator.RunUntil(kSecond / 2);
+  EXPECT_NEAR(server.RemainingWork(id), 50.0, 1e-6);
+}
+
+TEST(FluidServerTest, UtilizationReflectsAllocatedRates) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  EXPECT_DOUBLE_EQ(server.utilization(), 0.0);
+  server.AddFlow(1000.0, 30.0, nullptr);
+  EXPECT_NEAR(server.utilization(), 0.3, 1e-9);
+  server.AddFlow(1000.0, 1e9, nullptr);
+  EXPECT_NEAR(server.utilization(), 1.0, 1e-9);
+}
+
+TEST(FluidServerTest, RemoveUnknownFlowFails) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  EXPECT_FALSE(server.RemoveFlow(42));
+}
+
+TEST(FluidServerTest, RemovedFlowNeverCompletes) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  bool completed = false;
+  FlowId id = server.AddFlow(100.0, 1e9, [&](FlowId) { completed = true; });
+  EXPECT_TRUE(server.RemoveFlow(id));
+  simulator.RunAll();
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(server.active_flows(), 0u);
+}
+
+TEST(FluidServerTest, ManyFlowsAllComplete) {
+  Simulator simulator;
+  FluidServer server(&simulator, 1000.0);
+  int completions = 0;
+  for (int i = 0; i < 50; ++i) {
+    server.AddFlow(10.0 + i, 20.0, [&](FlowId) { ++completions; });
+  }
+  simulator.RunAll();
+  EXPECT_EQ(completions, 50);
+  EXPECT_EQ(server.active_flows(), 0u);
+}
+
+TEST(FluidServerTest, OversubscribedFlowsFinishLate) {
+  Simulator simulator;
+  FluidServer server(&simulator, 100.0);
+  // 10 flows each wanting 20/s on a 100/s link: each gets 10/s.
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 10; ++i) {
+    server.AddFlow(100.0, 20.0,
+                   [&](FlowId) { completions.push_back(simulator.Now()); });
+  }
+  simulator.RunAll();
+  ASSERT_EQ(completions.size(), 10u);
+  // At full rate they would finish in 5 s; shared, in 10 s.
+  EXPECT_EQ(completions.back(), 10 * kSecond);
+}
+
+}  // namespace
+}  // namespace quasaq::sim

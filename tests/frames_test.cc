@@ -1,0 +1,147 @@
+#include "media/frames.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::media {
+namespace {
+
+TEST(GopPatternTest, StandardPatternShape) {
+  GopPattern pattern = GopPattern::Standard();
+  EXPECT_EQ(pattern.size(), 15);
+  EXPECT_EQ(pattern.frames().front(), FrameType::kI);
+  EXPECT_EQ(pattern.CountOf(FrameType::kI), 1);
+  EXPECT_EQ(pattern.CountOf(FrameType::kP), 4);
+  EXPECT_EQ(pattern.CountOf(FrameType::kB), 10);
+}
+
+TEST(GopPatternTest, StandardPatternSequence) {
+  GopPattern pattern = GopPattern::Standard();
+  std::string sequence;
+  for (FrameType type : pattern.frames()) {
+    sequence += FrameTypeChar(type);
+  }
+  EXPECT_EQ(sequence, "IBBPBBPBBPBBPBB");
+}
+
+TEST(GopPatternTest, FormatSpecificPatterns) {
+  GopPattern mpeg1 = GopPattern::StandardFor(VideoFormat::kMpeg1);
+  EXPECT_EQ(mpeg1.size(), 15);
+  GopPattern mpeg2 = GopPattern::StandardFor(VideoFormat::kMpeg2);
+  EXPECT_EQ(mpeg2.size(), 12);
+  EXPECT_EQ(mpeg2.CountOf(FrameType::kI), 1);
+  EXPECT_EQ(mpeg2.CountOf(FrameType::kP), 3);
+  EXPECT_EQ(mpeg2.CountOf(FrameType::kB), 8);
+}
+
+TEST(GopPatternTest, CustomPattern) {
+  GopPattern pattern = GopPattern::Make(12, 4);
+  EXPECT_EQ(pattern.size(), 12);
+  EXPECT_EQ(pattern.CountOf(FrameType::kI), 1);
+  EXPECT_EQ(pattern.CountOf(FrameType::kP), 2);
+  EXPECT_EQ(pattern.CountOf(FrameType::kB), 9);
+}
+
+TEST(GopPatternTest, TotalWeightMatchesTypeWeights) {
+  GopPattern pattern = GopPattern::Standard();
+  // 1 I (5) + 4 P (3) + 10 B (1) = 27.
+  EXPECT_DOUBLE_EQ(pattern.TotalWeight(), 27.0);
+}
+
+TEST(FrameTypeTest, WeightsFollowMpegRatio) {
+  EXPECT_GT(FrameTypeWeight(FrameType::kI), FrameTypeWeight(FrameType::kP));
+  EXPECT_GT(FrameTypeWeight(FrameType::kP), FrameTypeWeight(FrameType::kB));
+}
+
+TEST(FrameSizeGeneratorTest, MeanSizesMatchBitrate) {
+  GopPattern pattern = GopPattern::Standard();
+  FrameSizeGenerator generator(pattern, 119.0, 23.97, 1);
+  // Per GOP: 15 frames / 23.97 fps * 119 KB/s of payload.
+  double gop_kb = 119.0 * 15.0 / 23.97;
+  EXPECT_NEAR(generator.MeanFrameSizeKb(FrameType::kI), gop_kb * 5.0 / 27.0,
+              1e-9);
+  EXPECT_NEAR(generator.MeanFrameSizeKb(FrameType::kB), gop_kb / 27.0, 1e-9);
+}
+
+TEST(FrameSizeGeneratorTest, DeterministicForSameSeed) {
+  GopPattern pattern = GopPattern::Standard();
+  FrameSizeGenerator a(pattern, 119.0, 23.97, 42);
+  FrameSizeGenerator b(pattern, 119.0, 23.97, 42);
+  for (int i = 0; i < 100; ++i) {
+    FrameInfo fa = a.Next();
+    FrameInfo fb = b.Next();
+    EXPECT_EQ(fa.type, fb.type);
+    EXPECT_DOUBLE_EQ(fa.size_kb, fb.size_kb);
+  }
+}
+
+TEST(FrameSizeGeneratorTest, CyclesThroughPattern) {
+  GopPattern pattern = GopPattern::Standard();
+  FrameSizeGenerator generator(pattern, 119.0, 23.97, 1);
+  for (int gop = 0; gop < 3; ++gop) {
+    for (int i = 0; i < pattern.size(); ++i) {
+      FrameInfo frame = generator.Next();
+      EXPECT_EQ(frame.type, pattern.frames()[i]);
+      EXPECT_EQ(frame.index_in_gop, i);
+    }
+  }
+}
+
+TEST(FrameSizeGeneratorTest, LongRunBitrateConverges) {
+  GopPattern pattern = GopPattern::Standard();
+  FrameSizeGenerator generator(pattern, 119.0, 23.97, 7);
+  double total_kb = 0.0;
+  const int frames = 15 * 2000;
+  for (int i = 0; i < frames; ++i) total_kb += generator.Next().size_kb;
+  double seconds = frames / 23.97;
+  EXPECT_NEAR(total_kb / seconds, 119.0, 119.0 * 0.03);
+}
+
+TEST(FrameSizeGeneratorTest, IFramesAreLargest) {
+  GopPattern pattern = GopPattern::Standard();
+  FrameSizeGenerator generator(pattern, 119.0, 23.97, 7);
+  double i_total = 0.0;
+  double b_total = 0.0;
+  int i_count = 0;
+  int b_count = 0;
+  for (int k = 0; k < 15 * 200; ++k) {
+    FrameInfo frame = generator.Next();
+    if (frame.type == FrameType::kI) {
+      i_total += frame.size_kb;
+      ++i_count;
+    } else if (frame.type == FrameType::kB) {
+      b_total += frame.size_kb;
+      ++b_count;
+    }
+  }
+  EXPECT_GT(i_total / i_count, 3.0 * (b_total / b_count));
+}
+
+TEST(FrameSizeGeneratorTest, SizesArePositive) {
+  GopPattern pattern = GopPattern::Standard();
+  FrameSizeGenerator generator(pattern, 6.0, 10.0, 3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(generator.Next().size_kb, 0.0);
+  }
+}
+
+// Property-style sweep: the generator hits its target bitrate for any
+// combination of bitrate and frame rate.
+class FrameRateSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FrameRateSweep, BitrateConvergesForAllConfigurations) {
+  auto [bitrate, fps] = GetParam();
+  FrameSizeGenerator generator(GopPattern::Standard(), bitrate, fps, 11);
+  double total_kb = 0.0;
+  const int frames = 15 * 1000;
+  for (int i = 0; i < frames; ++i) total_kb += generator.Next().size_kb;
+  EXPECT_NEAR(total_kb / (frames / fps), bitrate, bitrate * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bitrates, FrameRateSweep,
+    ::testing::Combine(::testing::Values(6.0, 28.0, 119.0, 311.0),
+                       ::testing::Values(10.0, 15.0, 23.97, 30.0)));
+
+}  // namespace
+}  // namespace quasaq::media

@@ -1,0 +1,139 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::query {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view input) {
+  Result<std::vector<Token>> tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return tokens.ok() ? *tokens : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, WhitespaceOnlyYieldsEnd) {
+  auto tokens = MustTokenize("   \t\n  ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = MustTokenize("SELECT videos frame_rate");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kIdent);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[2].text, "frame_rate");
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = MustTokenize("'hello world'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "hello world");
+}
+
+TEST(LexerTest, EmptyStringLiteral) {
+  auto tokens = MustTokenize("''");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Result<std::vector<Token>> tokens = Tokenize("'oops");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(tokens.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(LexerTest, IntegerAndDecimalNumbers) {
+  auto tokens = MustTokenize("42 23.97");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[0].number, 42.0);
+  EXPECT_EQ(tokens[1].type, TokenType::kNumber);
+  EXPECT_DOUBLE_EQ(tokens[1].number, 23.97);
+}
+
+TEST(LexerTest, ResolutionLiteral) {
+  auto tokens = MustTokenize("320x240");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kResolution);
+  EXPECT_EQ(tokens[0].res_width, 320);
+  EXPECT_EQ(tokens[0].res_height, 240);
+}
+
+TEST(LexerTest, ResolutionWithCapitalX) {
+  auto tokens = MustTokenize("720X480");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kResolution);
+  EXPECT_EQ(tokens[0].res_width, 720);
+  EXPECT_EQ(tokens[0].res_height, 480);
+}
+
+TEST(LexerTest, NumberFollowedByIdentIsNotResolution) {
+  auto tokens = MustTokenize("320 x240");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].type, TokenType::kNumber);
+  EXPECT_EQ(tokens[1].type, TokenType::kIdent);
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = MustTokenize(">= <= =");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].type, TokenType::kGe);
+  EXPECT_EQ(tokens[1].type, TokenType::kLe);
+  EXPECT_EQ(tokens[2].type, TokenType::kEq);
+}
+
+TEST(LexerTest, BareComparisonWithoutEqualsFails) {
+  Result<std::vector<Token>> tokens = Tokenize("framerate > 20");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, Punctuation) {
+  auto tokens = MustTokenize("(,);");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kComma);
+  EXPECT_EQ(tokens[2].type, TokenType::kRParen);
+  EXPECT_EQ(tokens[3].type, TokenType::kSemicolon);
+}
+
+TEST(LexerTest, UnknownCharacterFails) {
+  Result<std::vector<Token>> tokens = Tokenize("videos @ 3");
+  ASSERT_FALSE(tokens.ok());
+  EXPECT_NE(tokens.status().message().find("'@'"), std::string::npos);
+}
+
+TEST(LexerTest, PositionsPointIntoInput) {
+  auto tokens = MustTokenize("SELECT video");
+  ASSERT_GE(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, FullQueryTokenizes) {
+  auto tokens = MustTokenize(
+      "SELECT video FROM videos WHERE CONTAINS('sunset') WITH QOS "
+      "(resolution >= 320x240, framerate >= 15.5)");
+  EXPECT_GT(tokens.size(), 15u);
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, TokenTypeNames) {
+  EXPECT_EQ(TokenTypeName(TokenType::kIdent), "identifier");
+  EXPECT_EQ(TokenTypeName(TokenType::kResolution), "resolution");
+  EXPECT_EQ(TokenTypeName(TokenType::kEnd), "end of input");
+}
+
+}  // namespace
+}  // namespace quasaq::query

@@ -1,0 +1,159 @@
+#include "media/library.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace quasaq::media {
+namespace {
+
+std::vector<SiteId> ThreeSites() {
+  return {SiteId(0), SiteId(1), SiteId(2)};
+}
+
+TEST(QualityLadderTest, StandardLadderIsDescending) {
+  QualityLadder ladder = QualityLadder::Standard();
+  ASSERT_EQ(ladder.levels.size(), 4u);
+  for (size_t i = 1; i < ladder.levels.size(); ++i) {
+    EXPECT_LT(EstimateBitrateKBps(ladder.levels[i]),
+              EstimateBitrateKBps(ladder.levels[i - 1]));
+  }
+  EXPECT_EQ(ladder.levels.front().format, VideoFormat::kMpeg2);
+  EXPECT_EQ(ladder.levels[1].format, VideoFormat::kMpeg1);
+}
+
+TEST(LibraryTest, PaperDefaultsProduceFifteenVideos) {
+  VideoLibrary library =
+      BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  EXPECT_EQ(library.contents.size(), 15u);
+}
+
+TEST(LibraryTest, DurationsWithinRange) {
+  LibraryOptions options;
+  VideoLibrary library = BuildExperimentLibrary(options, ThreeSites());
+  for (const VideoContent& content : library.contents) {
+    EXPECT_GE(content.duration_seconds, options.min_duration_seconds);
+    EXPECT_LE(content.duration_seconds, options.max_duration_seconds);
+  }
+}
+
+TEST(LibraryTest, FullReplicationAcrossSites) {
+  VideoLibrary library =
+      BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  for (const VideoContent& content : library.contents) {
+    std::set<int64_t> sites_with_master;
+    for (const ReplicaInfo* replica : library.ReplicasOf(content.id)) {
+      if (replica->qos == content.master_quality) {
+        sites_with_master.insert(replica->site.value());
+      }
+    }
+    EXPECT_EQ(sites_with_master.size(), 3u)
+        << "master replica missing at some site for " << content.title;
+  }
+}
+
+TEST(LibraryTest, ReplicaLevelsWithinConfiguredBounds) {
+  LibraryOptions options;
+  VideoLibrary library = BuildExperimentLibrary(options, ThreeSites());
+  for (const VideoContent& content : library.contents) {
+    std::set<int64_t> distinct_qualities;
+    for (const ReplicaInfo* replica : library.ReplicasOf(content.id)) {
+      distinct_qualities.insert(replica->qos.resolution.PixelCount() * 100 +
+                                replica->qos.color_depth_bits);
+    }
+    EXPECT_GE(static_cast<int>(distinct_qualities.size()),
+              options.min_replica_levels);
+    EXPECT_LE(static_cast<int>(distinct_qualities.size()),
+              options.max_replica_levels);
+  }
+}
+
+TEST(LibraryTest, PhysicalOidsAreUnique) {
+  VideoLibrary library =
+      BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  std::set<int64_t> oids;
+  for (const ReplicaInfo& replica : library.replicas) {
+    EXPECT_TRUE(oids.insert(replica.id.value()).second);
+  }
+}
+
+TEST(LibraryTest, ReplicaSizingIsConsistent) {
+  VideoLibrary library =
+      BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  for (const ReplicaInfo& replica : library.replicas) {
+    EXPECT_NEAR(replica.bitrate_kbps, EstimateBitrateKBps(replica.qos),
+                1e-9);
+    EXPECT_NEAR(replica.size_kb,
+                replica.bitrate_kbps * replica.duration_seconds, 1e-6);
+  }
+}
+
+TEST(LibraryTest, SameTranscodeLevelSharesFrameSeedAcrossSites) {
+  VideoLibrary library =
+      BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  // Replicas of the same (video, quality) on different sites are
+  // byte-identical copies, hence identical frame seeds.
+  for (const VideoContent& content : library.contents) {
+    for (const ReplicaInfo* a : library.ReplicasOf(content.id)) {
+      for (const ReplicaInfo* b : library.ReplicasOf(content.id)) {
+        if (a->qos == b->qos) {
+          EXPECT_EQ(a->frame_seed, b->frame_seed);
+        }
+      }
+    }
+  }
+}
+
+TEST(LibraryTest, DeterministicForSameSeed) {
+  VideoLibrary a = BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  VideoLibrary b = BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  ASSERT_EQ(a.replicas.size(), b.replicas.size());
+  for (size_t i = 0; i < a.replicas.size(); ++i) {
+    EXPECT_EQ(a.replicas[i].id, b.replicas[i].id);
+    EXPECT_DOUBLE_EQ(a.replicas[i].size_kb, b.replicas[i].size_kb);
+  }
+  for (size_t i = 0; i < a.contents.size(); ++i) {
+    EXPECT_EQ(a.contents[i].keywords, b.contents[i].keywords);
+  }
+}
+
+TEST(LibraryTest, DifferentSeedChangesDurations) {
+  LibraryOptions options_a;
+  LibraryOptions options_b;
+  options_b.seed = options_a.seed + 1;
+  VideoLibrary a = BuildExperimentLibrary(options_a, ThreeSites());
+  VideoLibrary b = BuildExperimentLibrary(options_b, ThreeSites());
+  bool any_different = false;
+  for (size_t i = 0; i < a.contents.size(); ++i) {
+    if (a.contents[i].duration_seconds != b.contents[i].duration_seconds) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(LibraryTest, FindReplicaByOid) {
+  VideoLibrary library =
+      BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  const ReplicaInfo& known = library.replicas.front();
+  const ReplicaInfo* found = library.FindReplica(known.id);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->content, known.content);
+  EXPECT_EQ(library.FindReplica(PhysicalOid(999999)), nullptr);
+}
+
+TEST(LibraryTest, ContentsHaveKeywordsAndFeatures) {
+  VideoLibrary library =
+      BuildExperimentLibrary(LibraryOptions(), ThreeSites());
+  for (const VideoContent& content : library.contents) {
+    EXPECT_FALSE(content.keywords.empty());
+    EXPECT_EQ(content.features.size(), 8u);
+    for (double f : content.features) {
+      EXPECT_GE(f, 0.0);
+      EXPECT_LT(f, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quasaq::media

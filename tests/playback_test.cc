@@ -1,0 +1,107 @@
+#include "net/playback.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::net {
+namespace {
+
+// A perfectly paced server-side schedule at `fps`.
+std::vector<SimTime> PerfectSchedule(int frames, double fps) {
+  std::vector<SimTime> times;
+  times.reserve(static_cast<size_t>(frames));
+  for (int i = 0; i < frames; ++i) {
+    times.push_back(SecondsToSimTime(i / fps));
+  }
+  return times;
+}
+
+PlaybackOptions NoJitterOptions() {
+  PlaybackOptions options;
+  options.max_network_jitter = 0;
+  return options;
+}
+
+TEST(PlaybackTest, EmptyStream) {
+  PlaybackReport report = SimulateClientPlayback({}, PlaybackOptions());
+  EXPECT_EQ(report.frames, 0);
+  EXPECT_DOUBLE_EQ(report.OnTimeFraction(), 1.0);
+}
+
+TEST(PlaybackTest, PerfectScheduleNeverStalls) {
+  PlaybackReport report = SimulateClientPlayback(
+      PerfectSchedule(500, 23.97), NoJitterOptions());
+  EXPECT_EQ(report.frames, 500);
+  EXPECT_EQ(report.late_frames, 0);
+  EXPECT_EQ(report.underruns, 0);
+  EXPECT_EQ(report.total_stall, 0);
+  EXPECT_DOUBLE_EQ(report.OnTimeFraction(), 1.0);
+}
+
+TEST(PlaybackTest, StartupLatencyIsDelayPlusBuffer) {
+  PlaybackOptions options = NoJitterOptions();
+  PlaybackReport report =
+      SimulateClientPlayback(PerfectSchedule(100, 23.97), options);
+  EXPECT_EQ(report.startup_latency,
+            options.network_delay + options.startup_buffer);
+}
+
+TEST(PlaybackTest, SmallJitterIsAbsorbedByTheBuffer) {
+  PlaybackOptions options;
+  options.max_network_jitter = 20 * kMillisecond;
+  options.startup_buffer = 1 * kSecond;
+  PlaybackReport report =
+      SimulateClientPlayback(PerfectSchedule(500, 23.97), options);
+  EXPECT_EQ(report.underruns, 0);
+}
+
+TEST(PlaybackTest, ServerStallCausesOneUnderrun) {
+  std::vector<SimTime> times = PerfectSchedule(200, 23.97);
+  // The server freezes for 3 seconds after frame 100.
+  for (size_t i = 100; i < times.size(); ++i) {
+    times[i] += 3 * kSecond;
+  }
+  PlaybackOptions options = NoJitterOptions();
+  PlaybackReport report = SimulateClientPlayback(times, options);
+  EXPECT_EQ(report.underruns, 1);
+  EXPECT_GT(report.late_frames, 0);
+  // The stall is the freeze minus the buffer the client had built up.
+  EXPECT_GE(report.total_stall, 1 * kSecond);
+  EXPECT_LE(report.total_stall, 3 * kSecond);
+}
+
+TEST(PlaybackTest, RepeatedStallsCountSeparately) {
+  std::vector<SimTime> times = PerfectSchedule(300, 23.97);
+  for (size_t i = 100; i < times.size(); ++i) times[i] += 2 * kSecond;
+  for (size_t i = 200; i < times.size(); ++i) times[i] += 2 * kSecond;
+  PlaybackReport report =
+      SimulateClientPlayback(times, NoJitterOptions());
+  EXPECT_EQ(report.underruns, 2);
+}
+
+TEST(PlaybackTest, BiggerBufferTradesLatencyForSmoothness) {
+  std::vector<SimTime> times = PerfectSchedule(200, 23.97);
+  for (size_t i = 50; i < times.size(); ++i) {
+    times[i] += 1500 * kMillisecond;
+  }
+  PlaybackOptions small = NoJitterOptions();
+  small.startup_buffer = 500 * kMillisecond;
+  PlaybackOptions big = NoJitterOptions();
+  big.startup_buffer = 2 * kSecond;
+  PlaybackReport small_report = SimulateClientPlayback(times, small);
+  PlaybackReport big_report = SimulateClientPlayback(times, big);
+  EXPECT_GT(small_report.underruns, 0);
+  EXPECT_EQ(big_report.underruns, 0);
+  EXPECT_GT(big_report.startup_latency, small_report.startup_latency);
+}
+
+TEST(PlaybackTest, OnTimeFractionReflectsLateFrames) {
+  std::vector<SimTime> times = PerfectSchedule(100, 23.97);
+  for (size_t i = 50; i < times.size(); ++i) times[i] += 5 * kSecond;
+  PlaybackReport report =
+      SimulateClientPlayback(times, NoJitterOptions());
+  EXPECT_LT(report.OnTimeFraction(), 1.0);
+  EXPECT_GT(report.OnTimeFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace quasaq::net

@@ -1,0 +1,150 @@
+#include "resource/pool.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::res {
+namespace {
+
+BucketId Cpu(int site) { return {SiteId(site), ResourceKind::kCpu}; }
+BucketId Net(int site) {
+  return {SiteId(site), ResourceKind::kNetworkBandwidth};
+}
+
+TEST(ResourcePoolTest, DeclareAndQuery) {
+  ResourcePool pool;
+  EXPECT_FALSE(pool.HasBucket(Cpu(0)));
+  pool.DeclareBucket(Cpu(0), 1.0);
+  EXPECT_TRUE(pool.HasBucket(Cpu(0)));
+  EXPECT_DOUBLE_EQ(pool.Capacity(Cpu(0)), 1.0);
+  EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
+  EXPECT_DOUBLE_EQ(pool.Utilization(Cpu(0)), 0.0);
+}
+
+TEST(ResourcePoolTest, AcquireChargesBuckets) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  pool.DeclareBucket(Net(0), 3200.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.25);
+  demand.Add(Net(0), 800.0);
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+  EXPECT_DOUBLE_EQ(pool.Utilization(Cpu(0)), 0.25);
+  EXPECT_DOUBLE_EQ(pool.Utilization(Net(0)), 0.25);
+}
+
+TEST(ResourcePoolTest, AcquireIsAtomicOnOverflow) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  pool.DeclareBucket(Net(0), 100.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.5);
+  demand.Add(Net(0), 150.0);  // overflows net
+  EXPECT_EQ(pool.Acquire(demand).code(), StatusCode::kResourceExhausted);
+  // Nothing was charged.
+  EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
+  EXPECT_DOUBLE_EQ(pool.Used(Net(0)), 0.0);
+}
+
+TEST(ResourcePoolTest, UndeclaredBucketIsNotFound) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  ResourceVector demand;
+  demand.Add(Net(0), 1.0);
+  EXPECT_EQ(pool.Acquire(demand).code(), StatusCode::kNotFound);
+  EXPECT_FALSE(pool.Fits(demand));
+}
+
+TEST(ResourcePoolTest, FitsChecksWithoutCharging) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.9);
+  EXPECT_TRUE(pool.Fits(demand));
+  EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+  EXPECT_FALSE(pool.Fits(demand));
+}
+
+TEST(ResourcePoolTest, ExactFillIsAccepted) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 1.0);
+  EXPECT_TRUE(pool.Acquire(demand).ok());
+  EXPECT_NEAR(pool.Utilization(Cpu(0)), 1.0, 1e-12);
+}
+
+TEST(ResourcePoolTest, ReleaseRestoresCapacity) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.6);
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+  pool.Release(demand);
+  EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+}
+
+TEST(ResourcePoolTest, ReleaseClampsAtZero) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.6);
+  pool.Release(demand);  // never acquired
+  EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
+}
+
+TEST(ResourcePoolTest, RepeatedAcquireAccumulates) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.4);
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+  EXPECT_EQ(pool.Acquire(demand).code(), StatusCode::kResourceExhausted);
+  EXPECT_NEAR(pool.Utilization(Cpu(0)), 0.8, 1e-12);
+}
+
+TEST(ResourcePoolTest, BucketsReturnsSortedIds) {
+  ResourcePool pool;
+  pool.DeclareBucket(Net(1), 1.0);
+  pool.DeclareBucket(Cpu(0), 1.0);
+  pool.DeclareBucket(Cpu(1), 1.0);
+  auto buckets = pool.Buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], Cpu(0));
+  EXPECT_EQ(buckets[1], Cpu(1));
+  EXPECT_EQ(buckets[2], Net(1));
+}
+
+TEST(ResourcePoolTest, MaxUtilizationTracksHottestBucket) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  pool.DeclareBucket(Net(0), 100.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.2);
+  demand.Add(Net(0), 70.0);
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+  EXPECT_NEAR(pool.MaxUtilization(), 0.7, 1e-12);
+}
+
+TEST(ResourcePoolTest, DebugStringListsBuckets) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  std::string s = pool.DebugString();
+  EXPECT_NE(s.find("site0/cpu"), std::string::npos);
+}
+
+TEST(ResourcePoolTest, RedeclareKeepsUsage) {
+  ResourcePool pool;
+  pool.DeclareBucket(Cpu(0), 1.0);
+  ResourceVector demand;
+  demand.Add(Cpu(0), 0.5);
+  ASSERT_TRUE(pool.Acquire(demand).ok());
+  pool.DeclareBucket(Cpu(0), 2.0);  // capacity upgrade
+  EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.5);
+  EXPECT_DOUBLE_EQ(pool.Utilization(Cpu(0)), 0.25);
+}
+
+}  // namespace
+}  // namespace quasaq::res

@@ -1,0 +1,135 @@
+#include "core/qop_browser.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::core {
+namespace {
+
+class QopBrowserTest : public ::testing::Test {
+ protected:
+  QopBrowserTest() {
+    MediaDbSystem::Options options;
+    options.kind = SystemKind::kVdbmsQuasaq;
+    options.seed = 3;
+    options.library.min_duration_seconds = 60.0;
+    options.library.max_duration_seconds = 90.0;
+    system_ = std::make_unique<MediaDbSystem>(&simulator_, options);
+    browser_ = std::make_unique<QopBrowser>(
+        system_.get(), UserProfile::Nurse(UserId(1)), SiteId(0));
+  }
+
+  query::ContentPredicate AnyNews() {
+    query::ContentPredicate content;
+    content.keywords = {"news"};
+    return content;
+  }
+
+  sim::Simulator simulator_;
+  std::unique_ptr<MediaDbSystem> system_;
+  std::unique_ptr<QopBrowser> browser_;
+};
+
+TEST_F(QopBrowserTest, PresentStartsAPresentation) {
+  Result<QopBrowser::Presentation> presentation =
+      browser_->Present(AnyNews(), QopRequest{});
+  ASSERT_TRUE(presentation.ok()) << presentation.status().ToString();
+  EXPECT_TRUE(browser_->active());
+  EXPECT_TRUE(presentation->delivery.status.ok());
+  EXPECT_EQ(system_->outstanding_sessions(), 1);
+  // The generated query text is exposed and well-formed.
+  EXPECT_NE(browser_->last_query_text().find("SELECT video"),
+            std::string::npos);
+  EXPECT_NE(browser_->last_query_text().find("CONTAINS('news')"),
+            std::string::npos);
+  EXPECT_NE(browser_->last_query_text().find("WITH QOS"),
+            std::string::npos);
+}
+
+TEST_F(QopBrowserTest, PresentingAgainSwitchesVideos) {
+  ASSERT_TRUE(browser_->Present(AnyNews(), QopRequest{}).ok());
+  query::ContentPredicate other;
+  other.keywords = {"sunset"};
+  Result<QopBrowser::Presentation> second =
+      browser_->Present(other, QopRequest{});
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  // The first session was stopped: only one outstanding.
+  EXPECT_EQ(system_->outstanding_sessions(), 1);
+}
+
+TEST_F(QopBrowserTest, PresetLookup) {
+  Result<QopBrowser::Presentation> presentation =
+      browser_->PresentPreset(AnyNews(), "modem");
+  ASSERT_TRUE(presentation.ok()) << presentation.status().ToString();
+  // Modem preset = everything low: a thumbnail-class stream.
+  EXPECT_LE(presentation->delivery.wire_rate_kbps, 40.0);
+  Result<QopBrowser::Presentation> unknown =
+      browser_->PresentPreset(AnyNews(), "imax");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // The failed preset lookup must not have killed the active one.
+  EXPECT_TRUE(browser_->active());
+}
+
+TEST_F(QopBrowserTest, NoMatchPropagatesNotFound) {
+  query::ContentPredicate content;
+  content.keywords = {"unobtainium"};
+  Result<QopBrowser::Presentation> presentation =
+      browser_->Present(content, QopRequest{});
+  ASSERT_FALSE(presentation.ok());
+  EXPECT_EQ(presentation.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(browser_->active());
+}
+
+TEST_F(QopBrowserTest, PauseResumeRoundTrip) {
+  ASSERT_TRUE(browser_->Present(AnyNews(), QopRequest{}).ok());
+  ASSERT_TRUE(browser_->Pause().ok());
+  EXPECT_DOUBLE_EQ(system_->pool().MaxUtilization(), 0.0);
+  ASSERT_TRUE(browser_->Resume().ok());
+  EXPECT_GT(system_->pool().MaxUtilization(), 0.0);
+}
+
+TEST_F(QopBrowserTest, ChangeQualityMidPlayback) {
+  QopRequest low;
+  low.spatial = QopLevel::kLow;
+  low.temporal = QopLevel::kLow;
+  low.color = QopLevel::kLow;
+  low.audio = QopLevel::kLow;
+  ASSERT_TRUE(browser_->Present(AnyNews(), low).ok());
+  double low_rate = browser_->presentation().delivery.wire_rate_kbps;
+
+  QopRequest high;
+  high.spatial = QopLevel::kHigh;
+  high.temporal = QopLevel::kHigh;
+  high.color = QopLevel::kHigh;
+  high.audio = QopLevel::kHigh;
+  Result<MediaDbSystem::DeliveryOutcome> upgraded =
+      browser_->ChangeQuality(high);
+  ASSERT_TRUE(upgraded.ok()) << upgraded.status().ToString();
+  EXPECT_GT(upgraded->wire_rate_kbps, low_rate);
+  EXPECT_GT(browser_->presentation().delivery.wire_rate_kbps, low_rate);
+}
+
+TEST_F(QopBrowserTest, StopEndsThePresentation) {
+  ASSERT_TRUE(browser_->Present(AnyNews(), QopRequest{}).ok());
+  ASSERT_TRUE(browser_->Stop().ok());
+  EXPECT_FALSE(browser_->active());
+  EXPECT_EQ(system_->outstanding_sessions(), 0);
+  // Stop is idempotent.
+  EXPECT_TRUE(browser_->Stop().ok());
+}
+
+TEST_F(QopBrowserTest, StopAfterNaturalCompletionIsClean) {
+  ASSERT_TRUE(browser_->Present(AnyNews(), QopRequest{}).ok());
+  simulator_.RunAll();  // the video plays out
+  EXPECT_TRUE(browser_->Stop().ok());
+}
+
+TEST_F(QopBrowserTest, ActionsWithoutPresentationFail) {
+  EXPECT_EQ(browser_->Pause().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(browser_->Resume().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(browser_->ChangeQuality(QopRequest{}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace quasaq::core

@@ -1,0 +1,180 @@
+#include "core/qop.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query_producer.h"
+#include "query/parser.h"
+
+namespace quasaq::core {
+namespace {
+
+TEST(QopLevelTest, Names) {
+  EXPECT_EQ(QopLevelName(QopLevel::kLow), "low");
+  EXPECT_EQ(QopLevelName(QopLevel::kMedium), "medium");
+  EXPECT_EQ(QopLevelName(QopLevel::kHigh), "high");
+}
+
+TEST(QopRequestTest, ToStringListsAxes) {
+  QopRequest request;
+  request.spatial = QopLevel::kHigh;
+  request.security = media::SecurityLevel::kStrong;
+  std::string s = request.ToString();
+  EXPECT_NE(s.find("spatial=high"), std::string::npos);
+  EXPECT_NE(s.find("security=strong"), std::string::npos);
+}
+
+TEST(QopPresetTest, KnownPresets) {
+  auto dvd = QopPresetByName("DVD");
+  ASSERT_TRUE(dvd.has_value());
+  EXPECT_EQ(dvd->spatial, QopLevel::kHigh);
+  auto vcd = QopPresetByName("vcd-like");
+  ASSERT_TRUE(vcd.has_value());
+  EXPECT_EQ(vcd->spatial, QopLevel::kMedium);
+  auto modem = QopPresetByName("modem");
+  ASSERT_TRUE(modem.has_value());
+  EXPECT_EQ(modem->spatial, QopLevel::kLow);
+  EXPECT_FALSE(QopPresetByName("4k").has_value());
+}
+
+TEST(UserProfileTest, TranslateHighDemandsDvdClassWindow) {
+  UserProfile profile = UserProfile::Physician(UserId(1));
+  QopRequest request;
+  request.spatial = QopLevel::kHigh;
+  request.temporal = QopLevel::kHigh;
+  request.color = QopLevel::kHigh;
+  media::AppQosRange range = profile.Translate(request);
+  media::AppQos dvd{media::kResolutionDvd, 24, 23.97,
+                    media::VideoFormat::kMpeg2};
+  EXPECT_TRUE(range.Contains(dvd));
+  media::AppQos vcd{media::kResolutionVcd, 24, 23.97,
+                    media::VideoFormat::kMpeg1};
+  EXPECT_FALSE(range.Contains(vcd));
+}
+
+TEST(UserProfileTest, TranslateMediumAcceptsVcdClass) {
+  UserProfile profile = UserProfile::Nurse(UserId(2));
+  QopRequest request;  // all medium
+  media::AppQosRange range = profile.Translate(request);
+  media::AppQos vcd{media::kResolutionVcd, 24, 23.97,
+                    media::VideoFormat::kMpeg1};
+  EXPECT_TRUE(range.Contains(vcd));
+  media::AppQos dvd{media::kResolutionDvd, 24, 23.97,
+                    media::VideoFormat::kMpeg2};
+  EXPECT_FALSE(range.Contains(dvd));  // above the medium window
+}
+
+TEST(UserProfileTest, TranslateLowAcceptsThumbnailStreams) {
+  UserProfile profile(UserId(3), "generic");
+  QopRequest request;
+  request.spatial = QopLevel::kLow;
+  request.temporal = QopLevel::kLow;
+  request.color = QopLevel::kLow;
+  request.audio = QopLevel::kLow;
+  media::AppQosRange range = profile.Translate(request);
+  media::AppQos qcif{media::kResolutionQcif, 12, 10.0,
+                     media::VideoFormat::kMpeg1, media::AudioQuality::kPhone};
+  EXPECT_TRUE(range.Contains(qcif));
+}
+
+TEST(UserProfileTest, LevelWindowsAreDisjointish) {
+  UserProfile profile(UserId(4), "generic");
+  QopRequest low;
+  low.spatial = QopLevel::kLow;
+  QopRequest high;
+  high.spatial = QopLevel::kHigh;
+  media::AppQosRange low_range = profile.Translate(low);
+  media::AppQosRange high_range = profile.Translate(high);
+  EXPECT_LT(low_range.max_resolution.PixelCount(),
+            high_range.min_resolution.PixelCount() + 1);
+}
+
+TEST(UserProfileTest, RelaxPicksLeastValuedAxisFirst) {
+  UserProfile profile(UserId(5), "custom");
+  // Color is least valued: relax should lower the color floor first.
+  profile.set_weights(RenegotiationWeights{3.0, 2.0, 1.0, 5.0});
+  QopRequest request;
+  request.spatial = QopLevel::kHigh;
+  request.temporal = QopLevel::kHigh;
+  request.color = QopLevel::kHigh;
+  media::AppQosRange range = profile.Translate(request);
+  ASSERT_TRUE(profile.RelaxForRenegotiation(range));
+  EXPECT_EQ(range.min_color_depth_bits, 12);
+  // Spatial floor untouched on the first round.
+  EXPECT_EQ(range.min_resolution, media::kResolutionSvcd);
+}
+
+TEST(UserProfileTest, RelaxMovesToNextAxisWhenExhausted) {
+  UserProfile profile(UserId(6), "custom");
+  profile.set_weights(RenegotiationWeights{3.0, 2.0, 1.0, 5.0});
+  QopRequest request;
+  request.spatial = QopLevel::kHigh;
+  request.temporal = QopLevel::kHigh;
+  request.color = QopLevel::kLow;  // color floor already at 12
+  media::AppQosRange range = profile.Translate(request);
+  ASSERT_TRUE(profile.RelaxForRenegotiation(range));
+  // Color could not be lowered further; temporal (next weight) was.
+  EXPECT_LT(range.min_frame_rate, 20.0);
+}
+
+TEST(UserProfileTest, RelaxEventuallyExhausts) {
+  UserProfile profile(UserId(7), "custom");
+  media::AppQosRange range = profile.Translate(QopRequest{});
+  int rounds = 0;
+  while (profile.RelaxForRenegotiation(range)) {
+    ++rounds;
+    ASSERT_LT(rounds, 50) << "relaxation did not terminate";
+  }
+  EXPECT_GT(rounds, 0);
+  EXPECT_EQ(range.min_resolution, media::kResolutionQcif);
+  EXPECT_DOUBLE_EQ(range.min_frame_rate, 5.0);
+  EXPECT_EQ(range.min_color_depth_bits, 12);
+}
+
+TEST(UserProfileTest, PhysicianValuesSpatialMost) {
+  UserProfile profile = UserProfile::Physician(UserId(1));
+  EXPECT_GT(profile.weights().spatial, profile.weights().temporal);
+  EXPECT_GT(profile.weights().spatial, profile.weights().color);
+}
+
+TEST(QueryProducerTest, ProducedTextRoundTripsThroughParser) {
+  UserProfile profile = UserProfile::Nurse(UserId(1));
+  QueryProducer producer(&profile);
+  query::ContentPredicate content;
+  content.keywords = {"patient"};
+  QopRequest request;
+  request.spatial = QopLevel::kMedium;
+  request.security = media::SecurityLevel::kStandard;
+
+  std::string text = producer.ProduceText(content, request);
+  Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << text;
+
+  query::ParsedQuery direct = producer.Produce(content, request);
+  EXPECT_EQ(parsed->qos.range.min_resolution,
+            direct.qos.range.min_resolution);
+  EXPECT_EQ(parsed->qos.range.max_resolution,
+            direct.qos.range.max_resolution);
+  EXPECT_DOUBLE_EQ(parsed->qos.range.min_frame_rate,
+                   direct.qos.range.min_frame_rate);
+  EXPECT_EQ(parsed->qos.min_security, media::SecurityLevel::kStandard);
+  EXPECT_EQ(parsed->content.keywords, content.keywords);
+}
+
+TEST(QueryProducerTest, SimilarityAndTitleInText) {
+  UserProfile profile(UserId(2), "generic");
+  QueryProducer producer(&profile);
+  query::ContentPredicate content;
+  content.title = "video07";
+  content.similar_to = std::vector<double>{0.25, 0.5};
+  content.top_k = 3;
+  std::string text = producer.ProduceText(content, QopRequest{});
+  Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+  ASSERT_TRUE(parsed.ok()) << text;
+  EXPECT_EQ(*parsed->content.title, "video07");
+  EXPECT_EQ(parsed->content.top_k, 3);
+  ASSERT_TRUE(parsed->content.similar_to.has_value());
+  EXPECT_DOUBLE_EQ((*parsed->content.similar_to)[0], 0.25);
+}
+
+}  // namespace
+}  // namespace quasaq::core

@@ -1,0 +1,160 @@
+#include "media/quality.h"
+
+#include "media/library.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::media {
+namespace {
+
+TEST(ResolutionTest, PixelCountAndOrdering) {
+  EXPECT_EQ(kResolutionVcd.PixelCount(), 352 * 288);
+  EXPECT_LT(kResolutionQcif, kResolutionSif);
+  EXPECT_LT(kResolutionSif, kResolutionVcd);
+  EXPECT_LT(kResolutionVcd, kResolutionSvcd);
+  EXPECT_LT(kResolutionSvcd, kResolutionDvd);
+}
+
+TEST(ResolutionTest, ToStringFormat) {
+  EXPECT_EQ(ResolutionToString(kResolutionDvd), "720x480");
+}
+
+TEST(VideoFormatTest, Names) {
+  EXPECT_EQ(VideoFormatName(VideoFormat::kMpeg1), "MPEG1");
+  EXPECT_EQ(VideoFormatName(VideoFormat::kMpeg2), "MPEG2");
+}
+
+TEST(AppQosTest, ToStringMentionsAllAxes) {
+  AppQos qos{kResolutionVcd, 24, 23.97, VideoFormat::kMpeg1};
+  std::string s = AppQosToString(qos);
+  EXPECT_NE(s.find("352x288"), std::string::npos);
+  EXPECT_NE(s.find("24bit"), std::string::npos);
+  EXPECT_NE(s.find("23.97"), std::string::npos);
+  EXPECT_NE(s.find("MPEG1"), std::string::npos);
+}
+
+TEST(AppQosRangeTest, DefaultRangeIsWideOpen) {
+  AppQosRange range;
+  EXPECT_TRUE(range.Contains(
+      AppQos{kResolutionQcif, 12, 10.0, VideoFormat::kMpeg1}));
+  EXPECT_TRUE(range.Contains(
+      AppQos{kResolutionDvd, 24, 23.97, VideoFormat::kMpeg2}));
+}
+
+TEST(AppQosRangeTest, ResolutionBoundsAreByPixelCount) {
+  AppQosRange range;
+  range.min_resolution = kResolutionVcd;
+  range.max_resolution = kResolutionDvd;
+  EXPECT_FALSE(range.Contains(
+      AppQos{kResolutionSif, 24, 23.97, VideoFormat::kMpeg1}));
+  EXPECT_TRUE(range.Contains(
+      AppQos{kResolutionVcd, 24, 23.97, VideoFormat::kMpeg1}));
+  EXPECT_TRUE(range.Contains(
+      AppQos{kResolutionDvd, 24, 23.97, VideoFormat::kMpeg1}));
+}
+
+TEST(AppQosRangeTest, FrameRateBounds) {
+  AppQosRange range;
+  range.min_frame_rate = 15.0;
+  range.max_frame_rate = 30.0;
+  AppQos qos{kResolutionVcd, 24, 10.0, VideoFormat::kMpeg1};
+  EXPECT_FALSE(range.Contains(qos));
+  qos.frame_rate = 23.97;
+  EXPECT_TRUE(range.Contains(qos));
+  qos.frame_rate = 60.0;
+  EXPECT_FALSE(range.Contains(qos));
+}
+
+TEST(AppQosRangeTest, ColorDepthBounds) {
+  AppQosRange range;
+  range.min_color_depth_bits = 24;
+  AppQos qos{kResolutionVcd, 12, 23.97, VideoFormat::kMpeg1};
+  EXPECT_FALSE(range.Contains(qos));
+  qos.color_depth_bits = 24;
+  EXPECT_TRUE(range.Contains(qos));
+}
+
+TEST(AppQosRangeTest, FormatMask) {
+  AppQosRange range;
+  range.accepted_formats = 1u << static_cast<int>(VideoFormat::kMpeg1);
+  EXPECT_TRUE(range.AcceptsFormat(VideoFormat::kMpeg1));
+  EXPECT_FALSE(range.AcceptsFormat(VideoFormat::kMpeg2));
+  AppQos qos{kResolutionVcd, 24, 23.97, VideoFormat::kMpeg2};
+  EXPECT_FALSE(range.Contains(qos));
+}
+
+TEST(AppQosRangeTest, ToStringMentionsBounds) {
+  AppQosRange range;
+  range.min_resolution = kResolutionSif;
+  std::string s = range.ToString();
+  EXPECT_NE(s.find("320x240"), std::string::npos);
+  EXPECT_NE(s.find("MPEG1"), std::string::npos);
+}
+
+TEST(BitrateModelTest, MoreResolutionMeansMoreBitrate) {
+  AppQos low{kResolutionSif, 24, 23.97, VideoFormat::kMpeg1};
+  AppQos high{kResolutionDvd, 24, 23.97, VideoFormat::kMpeg1};
+  EXPECT_LT(EstimateBitrateKBps(low), EstimateBitrateKBps(high));
+}
+
+TEST(BitrateModelTest, HigherFrameRateAndDepthCostMore) {
+  AppQos base{kResolutionVcd, 24, 23.97, VideoFormat::kMpeg1};
+  AppQos slow = base;
+  slow.frame_rate = 10.0;
+  EXPECT_LT(EstimateBitrateKBps(slow), EstimateBitrateKBps(base));
+  AppQos shallow = base;
+  shallow.color_depth_bits = 12;
+  // Halving color depth halves the video component (audio unchanged).
+  EXPECT_NEAR(EstimateVideoBitrateKBps(shallow),
+              EstimateVideoBitrateKBps(base) / 2.0, 1e-9);
+}
+
+TEST(BitrateModelTest, AudioTrackAddsItsBitrate) {
+  AppQos with_cd{kResolutionVcd, 24, 23.97, VideoFormat::kMpeg1,
+                 AudioQuality::kCd};
+  AppQos without{kResolutionVcd, 24, 23.97, VideoFormat::kMpeg1,
+                 AudioQuality::kNone};
+  EXPECT_NEAR(EstimateBitrateKBps(with_cd) - EstimateBitrateKBps(without),
+              AudioBitrateKBps(AudioQuality::kCd), 1e-9);
+}
+
+TEST(AudioQualityTest, BitratesOrderByFidelity) {
+  EXPECT_DOUBLE_EQ(AudioBitrateKBps(AudioQuality::kNone), 0.0);
+  EXPECT_LT(AudioBitrateKBps(AudioQuality::kPhone),
+            AudioBitrateKBps(AudioQuality::kFm));
+  EXPECT_LT(AudioBitrateKBps(AudioQuality::kFm),
+            AudioBitrateKBps(AudioQuality::kCd));
+  EXPECT_EQ(AudioQualityName(AudioQuality::kCd), "cd");
+}
+
+TEST(AppQosRangeTest, AudioBounds) {
+  AppQosRange range;
+  range.min_audio = AudioQuality::kFm;
+  AppQos qos{kResolutionVcd, 24, 23.97, VideoFormat::kMpeg1,
+             AudioQuality::kPhone};
+  EXPECT_FALSE(range.Contains(qos));
+  qos.audio = AudioQuality::kFm;
+  EXPECT_TRUE(range.Contains(qos));
+  range.max_audio = AudioQuality::kFm;
+  qos.audio = AudioQuality::kCd;
+  EXPECT_FALSE(range.Contains(qos));
+}
+
+TEST(BitrateModelTest, Mpeg2IsMoreEfficientPerPixel) {
+  AppQos mpeg1{kResolutionDvd, 24, 23.97, VideoFormat::kMpeg1};
+  AppQos mpeg2{kResolutionDvd, 24, 23.97, VideoFormat::kMpeg2};
+  EXPECT_LT(EstimateBitrateKBps(mpeg2), EstimateBitrateKBps(mpeg1));
+}
+
+TEST(BitrateModelTest, LadderBitratesMatchLinkClasses) {
+  // The calibration targets from DESIGN.md: DVD-class ~300 KB/s,
+  // VCD-class ~120 KB/s, SIF ~28 KB/s, QCIF single-digit KB/s.
+  QualityLadder ladder = QualityLadder::Standard();
+  EXPECT_NEAR(EstimateBitrateKBps(ladder.levels[0]), 327.0, 30.0);
+  EXPECT_NEAR(EstimateBitrateKBps(ladder.levels[1]), 135.0, 15.0);
+  EXPECT_NEAR(EstimateBitrateKBps(ladder.levels[2]), 36.0, 7.0);
+  EXPECT_LT(EstimateBitrateKBps(ladder.levels[3]), 10.0);
+}
+
+}  // namespace
+}  // namespace quasaq::media

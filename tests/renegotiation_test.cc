@@ -1,0 +1,133 @@
+// Mid-playback renegotiation (paper §3.2's first scenario: the user
+// modifies QoS during playback and the system renegotiates).
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace quasaq::core {
+namespace {
+
+class MidPlaybackRenegotiationTest : public ::testing::Test {
+ protected:
+  MidPlaybackRenegotiationTest() {
+    MediaDbSystem::Options options;
+    options.kind = SystemKind::kVdbmsQuasaq;
+    options.seed = 3;
+    options.library.max_duration_seconds = 90.0;
+    system_ = std::make_unique<MediaDbSystem>(&simulator_, options);
+  }
+
+  query::QosRequirement LowQos() {
+    query::QosRequirement qos;
+    qos.range.min_frame_rate = 1.0;
+    qos.range.max_resolution = media::kResolutionSif;
+    return qos;
+  }
+
+  query::QosRequirement HighQos() {
+    query::QosRequirement qos;
+    qos.range.min_resolution = media::kResolutionSvcd;
+    qos.range.min_color_depth_bits = 24;
+    qos.range.min_frame_rate = 20.0;
+    return qos;
+  }
+
+  sim::Simulator simulator_;
+  std::unique_ptr<MediaDbSystem> system_;
+};
+
+TEST_F(MidPlaybackRenegotiationTest, UpgradeQualityMidPlayback) {
+  MediaDbSystem::DeliveryOutcome start =
+      system_->SubmitDelivery(SiteId(0), LogicalOid(0), LowQos());
+  ASSERT_TRUE(start.status.ok());
+  double low_rate = start.wire_rate_kbps;
+
+  Result<MediaDbSystem::DeliveryOutcome> upgraded =
+      system_->ChangeSessionQos(start.session, HighQos());
+  ASSERT_TRUE(upgraded.ok()) << upgraded.status().ToString();
+  EXPECT_TRUE(upgraded->renegotiated);
+  EXPECT_GT(upgraded->wire_rate_kbps, low_rate);
+  EXPECT_GE(upgraded->delivered_qos.resolution.PixelCount(),
+            media::kResolutionSvcd.PixelCount());
+}
+
+TEST_F(MidPlaybackRenegotiationTest, DowngradeReleasesResources) {
+  MediaDbSystem::DeliveryOutcome start =
+      system_->SubmitDelivery(SiteId(0), LogicalOid(0), HighQos());
+  ASSERT_TRUE(start.status.ok());
+  double before = system_->pool().MaxUtilization();
+
+  Result<MediaDbSystem::DeliveryOutcome> downgraded =
+      system_->ChangeSessionQos(start.session, LowQos());
+  ASSERT_TRUE(downgraded.ok());
+  EXPECT_LT(downgraded->wire_rate_kbps, start.wire_rate_kbps);
+  EXPECT_LT(system_->pool().MaxUtilization(), before);
+}
+
+TEST_F(MidPlaybackRenegotiationTest, SessionStillCompletesOnce) {
+  MediaDbSystem::DeliveryOutcome start =
+      system_->SubmitDelivery(SiteId(0), LogicalOid(0), LowQos());
+  ASSERT_TRUE(start.status.ok());
+  ASSERT_TRUE(system_->ChangeSessionQos(start.session, HighQos()).ok());
+  int completions = 0;
+  system_->set_on_session_complete(
+      [&completions](SessionId, SimTime) { ++completions; });
+  simulator_.RunAll();
+  EXPECT_EQ(completions, 1);
+  EXPECT_DOUBLE_EQ(system_->pool().MaxUtilization(), 0.0);
+}
+
+TEST_F(MidPlaybackRenegotiationTest, UnknownSessionIsNotFound) {
+  Result<MediaDbSystem::DeliveryOutcome> outcome =
+      system_->ChangeSessionQos(SessionId(999), LowQos());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MidPlaybackRenegotiationTest, UnsatisfiableChangeKeepsOldPlan) {
+  MediaDbSystem::DeliveryOutcome start =
+      system_->SubmitDelivery(SiteId(0), LogicalOid(0), LowQos());
+  ASSERT_TRUE(start.status.ok());
+  double before = system_->pool().MaxUtilization();
+  query::QosRequirement impossible;
+  impossible.range.min_frame_rate = 60.0;
+  Result<MediaDbSystem::DeliveryOutcome> outcome =
+      system_->ChangeSessionQos(start.session, impossible);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+  // Old reservation untouched.
+  EXPECT_DOUBLE_EQ(system_->pool().MaxUtilization(), before);
+}
+
+TEST_F(MidPlaybackRenegotiationTest, UpgradeFailsWhenSystemIsFull) {
+  MediaDbSystem::DeliveryOutcome start =
+      system_->SubmitDelivery(SiteId(0), LogicalOid(0), LowQos());
+  ASSERT_TRUE(start.status.ok());
+  // Saturate all outbound links with high-rate sessions.
+  for (int i = 0; i < 200; ++i) {
+    system_->SubmitDelivery(SiteId(i % 3), LogicalOid(i % 15), HighQos());
+  }
+  Result<MediaDbSystem::DeliveryOutcome> outcome =
+      system_->ChangeSessionQos(start.session, HighQos());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RenegotiationOnVdbmsTest, RequiresQuasaq) {
+  sim::Simulator simulator;
+  MediaDbSystem::Options options;
+  options.kind = SystemKind::kVdbms;
+  MediaDbSystem system(&simulator, options);
+  query::QosRequirement qos;
+  MediaDbSystem::DeliveryOutcome start =
+      system.SubmitDelivery(SiteId(0), LogicalOid(0), qos);
+  ASSERT_TRUE(start.status.ok());
+  Result<MediaDbSystem::DeliveryOutcome> outcome =
+      system.ChangeSessionQos(start.session, qos);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace quasaq::core

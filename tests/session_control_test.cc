@@ -1,0 +1,132 @@
+// User actions during playback (paper §3.2: renegotiation "may also be
+// needed due to user actions during playback"): pause releases the
+// stream's resources, resume re-admits them.
+
+#include <gtest/gtest.h>
+
+#include "core/system.h"
+
+namespace quasaq::core {
+namespace {
+
+class SessionControlTest : public ::testing::Test {
+ protected:
+  SessionControlTest() {
+    MediaDbSystem::Options options;
+    options.kind = SystemKind::kVdbmsQuasaq;
+    options.seed = 3;
+    options.library.min_duration_seconds = 60.0;
+    options.library.max_duration_seconds = 90.0;
+    system_ = std::make_unique<MediaDbSystem>(&simulator_, options);
+  }
+
+  MediaDbSystem::DeliveryOutcome StartOne() {
+    query::QosRequirement qos;
+    qos.range.min_frame_rate = 1.0;
+    return system_->SubmitDelivery(SiteId(0), LogicalOid(0), qos);
+  }
+
+  // A DVD-rate session: only satisfiable by the master replica.
+  MediaDbSystem::DeliveryOutcome StartHighRate() {
+    query::QosRequirement qos;
+    qos.range.min_resolution = media::kResolutionSvcd;
+    qos.range.min_color_depth_bits = 24;
+    qos.range.min_frame_rate = 20.0;
+    return system_->SubmitDelivery(SiteId(0), LogicalOid(0), qos);
+  }
+
+  sim::Simulator simulator_;
+  std::unique_ptr<MediaDbSystem> system_;
+};
+
+TEST_F(SessionControlTest, PauseReleasesResources) {
+  MediaDbSystem::DeliveryOutcome outcome = StartOne();
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_GT(system_->pool().MaxUtilization(), 0.0);
+  ASSERT_TRUE(system_->PauseSession(outcome.session).ok());
+  EXPECT_DOUBLE_EQ(system_->pool().MaxUtilization(), 0.0);
+  // The session still exists (it is paused, not cancelled).
+  EXPECT_EQ(system_->outstanding_sessions(), 1);
+}
+
+TEST_F(SessionControlTest, PausedSessionDoesNotComplete) {
+  MediaDbSystem::DeliveryOutcome outcome = StartOne();
+  ASSERT_TRUE(outcome.status.ok());
+  ASSERT_TRUE(system_->PauseSession(outcome.session).ok());
+  simulator_.RunUntil(SecondsToSimTime(3600.0));
+  EXPECT_EQ(system_->stats().completed, 0u);
+  EXPECT_EQ(system_->outstanding_sessions(), 1);
+}
+
+TEST_F(SessionControlTest, ResumeReacquiresAndCompletes) {
+  MediaDbSystem::DeliveryOutcome outcome = StartOne();
+  ASSERT_TRUE(outcome.status.ok());
+  simulator_.RunUntil(SecondsToSimTime(10.0));
+  ASSERT_TRUE(system_->PauseSession(outcome.session).ok());
+  simulator_.RunUntil(SecondsToSimTime(500.0));
+  ASSERT_TRUE(system_->ResumeSession(outcome.session).ok());
+  EXPECT_GT(system_->pool().MaxUtilization(), 0.0);
+  simulator_.RunAll();
+  EXPECT_EQ(system_->stats().completed, 1u);
+  EXPECT_DOUBLE_EQ(system_->pool().MaxUtilization(), 0.0);
+}
+
+TEST_F(SessionControlTest, PauseExtendsWallClockCompletion) {
+  MediaDbSystem::DeliveryOutcome outcome = StartOne();
+  ASSERT_TRUE(outcome.status.ok());
+  SimTime completed_at = 0;
+  system_->set_on_session_complete(
+      [&completed_at](SessionId, SimTime t) { completed_at = t; });
+  simulator_.RunUntil(SecondsToSimTime(10.0));
+  ASSERT_TRUE(system_->PauseSession(outcome.session).ok());
+  simulator_.RunUntil(SecondsToSimTime(110.0));  // paused for 100 s
+  ASSERT_TRUE(system_->ResumeSession(outcome.session).ok());
+  simulator_.RunAll();
+  // Duration is 60-90 s; with a 100 s pause the completion must land
+  // beyond 160 s.
+  EXPECT_GT(completed_at, SecondsToSimTime(160.0));
+}
+
+TEST_F(SessionControlTest, DoublePauseAndBlindResumeFail) {
+  MediaDbSystem::DeliveryOutcome outcome = StartOne();
+  ASSERT_TRUE(outcome.status.ok());
+  EXPECT_EQ(system_->ResumeSession(outcome.session).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(system_->PauseSession(outcome.session).ok());
+  EXPECT_EQ(system_->PauseSession(outcome.session).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(system_->PauseSession(SessionId(999)).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SessionControlTest, ResumeFailsWhenResourcesAreGone) {
+  MediaDbSystem::DeliveryOutcome outcome = StartHighRate();
+  ASSERT_TRUE(outcome.status.ok());
+  ASSERT_TRUE(system_->PauseSession(outcome.session).ok());
+  // Occupy every link with more DVD-rate sessions while the user is
+  // paused: the released ~330 KB/s slot gets taken.
+  query::QosRequirement qos;
+  qos.range.min_resolution = media::kResolutionSvcd;
+  qos.range.min_color_depth_bits = 24;
+  qos.range.min_frame_rate = 20.0;
+  for (int i = 0; i < 400; ++i) {
+    system_->SubmitDelivery(SiteId(i % 3), LogicalOid(i % 15), qos);
+  }
+  Status resumed = system_->ResumeSession(outcome.session);
+  EXPECT_EQ(resumed.code(), StatusCode::kResourceExhausted);
+  // Still paused; a later retry after load drains succeeds.
+  simulator_.RunAll();
+  EXPECT_TRUE(system_->ResumeSession(outcome.session).ok());
+}
+
+TEST_F(SessionControlTest, CancelPausedSessionIsClean) {
+  MediaDbSystem::DeliveryOutcome outcome = StartOne();
+  ASSERT_TRUE(outcome.status.ok());
+  ASSERT_TRUE(system_->PauseSession(outcome.session).ok());
+  ASSERT_TRUE(system_->CancelSession(outcome.session).ok());
+  EXPECT_EQ(system_->outstanding_sessions(), 0);
+  EXPECT_DOUBLE_EQ(system_->pool().MaxUtilization(), 0.0);
+}
+
+}  // namespace
+}  // namespace quasaq::core

@@ -1,0 +1,133 @@
+#include "metadata/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "media/library.h"
+
+namespace quasaq::meta {
+namespace {
+
+std::vector<SiteId> ThreeSites() {
+  return {SiteId(0), SiteId(1), SiteId(2)};
+}
+
+DistributedMetadataEngine PopulatedEngine() {
+  DistributedMetadataEngine engine(ThreeSites(),
+                                   DistributedMetadataEngine::Options());
+  media::LibraryOptions options;
+  options.num_videos = 6;
+  media::VideoLibrary library =
+      media::BuildExperimentLibrary(options, ThreeSites());
+  QosSampler sampler;
+  for (const media::VideoContent& content : library.contents) {
+    EXPECT_TRUE(engine.InsertContent(content).ok());
+  }
+  for (const media::ReplicaInfo& replica : library.replicas) {
+    EXPECT_TRUE(engine.InsertReplica(replica).ok());
+    EXPECT_TRUE(
+        engine.SetQosProfile(replica.id, sampler.SampleStreaming(replica))
+            .ok());
+  }
+  return engine;
+}
+
+TEST(SnapshotTest, RoundTripPreservesEverything) {
+  DistributedMetadataEngine source = PopulatedEngine();
+  std::string snapshot = SerializeCatalog(source);
+  EXPECT_NE(snapshot.find("content,0,"), std::string::npos);
+  EXPECT_NE(snapshot.find("replica,"), std::string::npos);
+  EXPECT_NE(snapshot.find("profile,"), std::string::npos);
+
+  DistributedMetadataEngine restored(ThreeSites(),
+                                     DistributedMetadataEngine::Options());
+  ASSERT_TRUE(LoadCatalog(snapshot, &restored).ok());
+
+  ASSERT_EQ(restored.AllContentIds().size(), source.AllContentIds().size());
+  for (LogicalOid oid : source.AllContentIds()) {
+    SiteId owner = source.OwnerOf(oid);
+    auto original = source.FindContent(owner, oid);
+    auto copy = restored.FindContent(owner, oid);
+    ASSERT_TRUE(copy.has_value());
+    EXPECT_EQ(copy->title, original->title);
+    EXPECT_EQ(copy->keywords, original->keywords);
+    ASSERT_EQ(copy->features.size(), original->features.size());
+    for (size_t i = 0; i < copy->features.size(); ++i) {
+      EXPECT_NEAR(copy->features[i], original->features[i], 1e-9);
+    }
+    EXPECT_NEAR(copy->duration_seconds, original->duration_seconds, 1e-6);
+    EXPECT_EQ(copy->master_quality, original->master_quality);
+
+    auto original_replicas = source.ReplicasOf(owner, oid);
+    auto copy_replicas = restored.ReplicasOf(owner, oid);
+    ASSERT_EQ(copy_replicas.size(), original_replicas.size());
+    for (size_t i = 0; i < copy_replicas.size(); ++i) {
+      EXPECT_EQ(copy_replicas[i].id, original_replicas[i].id);
+      EXPECT_EQ(copy_replicas[i].site, original_replicas[i].site);
+      EXPECT_EQ(copy_replicas[i].qos, original_replicas[i].qos);
+      EXPECT_EQ(copy_replicas[i].frame_seed,
+                original_replicas[i].frame_seed);
+      EXPECT_NEAR(copy_replicas[i].size_kb, original_replicas[i].size_kb,
+                  original_replicas[i].size_kb * 1e-6);
+      auto original_profile =
+          source.FindQosProfile(owner, original_replicas[i].id);
+      auto copy_profile =
+          restored.FindQosProfile(owner, copy_replicas[i].id);
+      ASSERT_TRUE(copy_profile.has_value());
+      EXPECT_NEAR(copy_profile->cpu_fraction,
+                  original_profile->cpu_fraction, 1e-9);
+      EXPECT_NEAR(copy_profile->net_kbps, original_profile->net_kbps, 1e-6);
+    }
+  }
+}
+
+TEST(SnapshotTest, EmptyCatalogRoundTrips) {
+  DistributedMetadataEngine empty(ThreeSites(),
+                                  DistributedMetadataEngine::Options());
+  std::string snapshot = SerializeCatalog(empty);
+  DistributedMetadataEngine restored(ThreeSites(),
+                                     DistributedMetadataEngine::Options());
+  ASSERT_TRUE(LoadCatalog(snapshot, &restored).ok());
+  EXPECT_TRUE(restored.AllContentIds().empty());
+}
+
+TEST(SnapshotTest, RejectsMalformedRecords) {
+  DistributedMetadataEngine engine(ThreeSites(),
+                                   DistributedMetadataEngine::Options());
+  Status status = LoadCatalog("bogus,1,2,3\n", &engine);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("line 1"), std::string::npos);
+  EXPECT_NE(status.message().find("bogus"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsShortContentRecord) {
+  DistributedMetadataEngine engine(ThreeSites(),
+                                   DistributedMetadataEngine::Options());
+  EXPECT_FALSE(LoadCatalog("content,0,video00,60\n", &engine).ok());
+}
+
+TEST(SnapshotTest, RejectsReplicaBeforeContent) {
+  DistributedMetadataEngine engine(ThreeSites(),
+                                   DistributedMetadataEngine::Options());
+  Status status = LoadCatalog(
+      "replica,0,7,0,352,288,24,23.97,0,3,60,42\n", &engine);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("not registered"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsOutOfRangeEnums) {
+  DistributedMetadataEngine engine(ThreeSites(),
+                                   DistributedMetadataEngine::Options());
+  EXPECT_FALSE(
+      LoadCatalog(
+          "content,0,v,60,news,0.5,720,480,24,23.97,9,3\n", &engine)
+          .ok());
+}
+
+TEST(SnapshotTest, CommentsAndBlanksIgnored) {
+  DistributedMetadataEngine engine(ThreeSites(),
+                                   DistributedMetadataEngine::Options());
+  ASSERT_TRUE(LoadCatalog("# header\n\n# more\n", &engine).ok());
+}
+
+}  // namespace
+}  // namespace quasaq::meta

@@ -1,0 +1,209 @@
+#include "core/system.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::core {
+namespace {
+
+class SystemTest : public ::testing::Test {
+ protected:
+  MediaDbSystem::Options BaseOptions(SystemKind kind) {
+    MediaDbSystem::Options options;
+    options.kind = kind;
+    options.seed = 3;
+    options.library.max_duration_seconds = 90.0;
+    return options;
+  }
+
+  query::QosRequirement WideQos() {
+    query::QosRequirement qos;
+    qos.range.min_frame_rate = 1.0;
+    return qos;
+  }
+};
+
+TEST_F(SystemTest, KindNames) {
+  EXPECT_EQ(SystemKindName(SystemKind::kVdbms), "VDBMS");
+  EXPECT_EQ(SystemKindName(SystemKind::kVdbmsQosApi), "VDBMS+QoSAPI");
+  EXPECT_EQ(SystemKindName(SystemKind::kVdbmsQuasaq), "VDBMS+QuaSAQ");
+}
+
+TEST_F(SystemTest, VdbmsAdmitsEverything) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbms));
+  for (int i = 0; i < 100; ++i) {
+    MediaDbSystem::DeliveryOutcome outcome = system.SubmitDelivery(
+        SiteId(i % 3), LogicalOid(i % 15), WideQos());
+    EXPECT_TRUE(outcome.status.ok());
+    // VDBMS ignores QoS and serves the master quality.
+    EXPECT_EQ(outcome.delivered_qos,
+              media::QualityLadder::Standard().levels[0]);
+  }
+  EXPECT_EQ(system.outstanding_sessions(), 100);
+  EXPECT_EQ(system.stats().rejected, 0u);
+}
+
+TEST_F(SystemTest, VdbmsSessionsCompleteAfterStretchedDuration) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbms));
+  int completions = 0;
+  system.set_on_session_complete(
+      [&completions](SessionId, SimTime) { ++completions; });
+  ASSERT_TRUE(
+      system.SubmitDelivery(SiteId(0), LogicalOid(0), WideQos()).status.ok());
+  simulator.RunAll();
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(system.outstanding_sessions(), 0);
+  EXPECT_EQ(system.stats().completed, 1u);
+}
+
+TEST_F(SystemTest, VdbmsOversubscriptionStretchesSessions) {
+  sim::Simulator simulator;
+  MediaDbSystem::Options options = BaseOptions(SystemKind::kVdbms);
+  options.vdbms_max_stretch = 3.0;
+  MediaDbSystem system(&simulator, options);
+  // Pile enough DVD-rate sessions on one site to oversubscribe its
+  // 3200 KB/s link (each master stream is ~300 KB/s).
+  std::vector<SimTime> completions;
+  system.set_on_session_complete(
+      [&](SessionId, SimTime t) { completions.push_back(t); });
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(system
+                    .SubmitDelivery(SiteId(0), LogicalOid(i % 15), WideQos())
+                    .status.ok());
+  }
+  simulator.RunAll();
+  ASSERT_EQ(completions.size(), 30u);
+  // The last-admitted sessions saw demand ratio > 2 and must have been
+  // stretched: completion beyond any raw video duration (<= 90 s).
+  EXPECT_GT(completions.back(), SecondsToSimTime(90.0));
+}
+
+TEST_F(SystemTest, QosApiEnforcesAdmission) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQosApi));
+  int admitted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 60; ++i) {
+    MediaDbSystem::DeliveryOutcome outcome =
+        system.SubmitDelivery(SiteId(0), LogicalOid(i % 15), WideQos());
+    outcome.status.ok() ? ++admitted : ++rejected;
+  }
+  // One 3200 KB/s link serves ~10 master-rate (~300 KB/s) streams.
+  EXPECT_GT(admitted, 5);
+  EXPECT_LT(admitted, 15);
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(system.pool().Utilization(
+                {SiteId(0), ResourceKind::kNetworkBandwidth}),
+            0.85);
+}
+
+TEST_F(SystemTest, QosApiReleasesOnCompletion) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQosApi));
+  ASSERT_TRUE(
+      system.SubmitDelivery(SiteId(0), LogicalOid(0), WideQos()).status.ok());
+  EXPECT_GT(system.pool().MaxUtilization(), 0.0);
+  simulator.RunAll();
+  EXPECT_DOUBLE_EQ(system.pool().MaxUtilization(), 0.0);
+}
+
+TEST_F(SystemTest, QuasaqUsesQualityManager) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQuasaq));
+  ASSERT_NE(system.quality_manager(), nullptr);
+  MediaDbSystem::DeliveryOutcome outcome =
+      system.SubmitDelivery(SiteId(0), LogicalOid(0), WideQos());
+  ASSERT_TRUE(outcome.status.ok());
+  // LRB at wide-open QoS picks a low-rate replica, not the master.
+  EXPECT_LT(outcome.wire_rate_kbps, 100.0);
+  EXPECT_EQ(system.quality_manager()->stats().admitted, 1u);
+}
+
+TEST_F(SystemTest, QuasaqOutlastsQosApiUnderLoad) {
+  sim::Simulator sim_a;
+  sim::Simulator sim_b;
+  MediaDbSystem qosapi(&sim_a, BaseOptions(SystemKind::kVdbmsQosApi));
+  MediaDbSystem quasaq(&sim_b, BaseOptions(SystemKind::kVdbmsQuasaq));
+  int qosapi_admitted = 0;
+  int quasaq_admitted = 0;
+  for (int i = 0; i < 120; ++i) {
+    SiteId site(i % 3);
+    LogicalOid video(i % 15);
+    if (qosapi.SubmitDelivery(site, video, WideQos()).status.ok()) {
+      ++qosapi_admitted;
+    }
+    if (quasaq.SubmitDelivery(site, video, WideQos()).status.ok()) {
+      ++quasaq_admitted;
+    }
+  }
+  EXPECT_GT(quasaq_admitted, qosapi_admitted);
+}
+
+TEST_F(SystemTest, CancelSessionFreesResources) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQuasaq));
+  MediaDbSystem::DeliveryOutcome outcome =
+      system.SubmitDelivery(SiteId(0), LogicalOid(0), WideQos());
+  ASSERT_TRUE(outcome.status.ok());
+  ASSERT_TRUE(system.CancelSession(outcome.session).ok());
+  EXPECT_EQ(system.outstanding_sessions(), 0);
+  EXPECT_DOUBLE_EQ(system.pool().MaxUtilization(), 0.0);
+  // The pending completion event must be a no-op.
+  simulator.RunAll();
+  EXPECT_EQ(system.stats().completed, 0u);
+  EXPECT_EQ(system.CancelSession(outcome.session).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(SystemTest, ResolveContentByKeyword) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQuasaq));
+  query::ParsedQuery parsed;
+  parsed.content.keywords = {system.library().contents[0].keywords[0]};
+  std::vector<LogicalOid> matches = system.ResolveContent(parsed);
+  ASSERT_FALSE(matches.empty());
+}
+
+TEST_F(SystemTest, TextQueryEndToEnd) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQuasaq));
+  const std::string keyword = system.library().contents[0].keywords[0];
+  std::string text = "SELECT video FROM videos WHERE CONTAINS('" + keyword +
+                     "') WITH QOS (framerate >= 5)";
+  Result<MediaDbSystem::TextQueryOutcome> outcome =
+      system.SubmitTextQuery(SiteId(0), text);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->delivery.status.ok());
+}
+
+TEST_F(SystemTest, TextQueryParseErrorPropagates) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQuasaq));
+  Result<MediaDbSystem::TextQueryOutcome> outcome =
+      system.SubmitTextQuery(SiteId(0), "FROBNICATE the database");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SystemTest, TextQueryNoMatchIsNotFound) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQuasaq));
+  Result<MediaDbSystem::TextQueryOutcome> outcome = system.SubmitTextQuery(
+      SiteId(0), "SELECT video FROM videos WHERE CONTAINS('unobtainium')");
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(SystemTest, SecureQueryGetsEncryptedPlan) {
+  sim::Simulator simulator;
+  MediaDbSystem system(&simulator, BaseOptions(SystemKind::kVdbmsQuasaq));
+  query::QosRequirement qos = WideQos();
+  qos.min_security = media::SecurityLevel::kStrong;
+  MediaDbSystem::DeliveryOutcome outcome =
+      system.SubmitDelivery(SiteId(0), LogicalOid(0), qos);
+  ASSERT_TRUE(outcome.status.ok());
+}
+
+}  // namespace
+}  // namespace quasaq::core

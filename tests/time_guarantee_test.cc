@@ -1,0 +1,128 @@
+// Time Guarantee (paper Table 1's application-QoS parameter): startup
+// latency bounds flow from the query text into plan pruning.
+
+#include <gtest/gtest.h>
+
+#include "core/plan_generator.h"
+#include "core/system.h"
+#include "media/library.h"
+#include "query/parser.h"
+
+namespace quasaq {
+namespace {
+
+TEST(TimeGuaranteeParseTest, StartupBoundParses) {
+  Result<query::ParsedQuery> parsed = query::ParseQuery(
+      "SELECT v FROM videos WITH QOS (startup <= 2.5, framerate >= 5)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->qos.max_startup_seconds, 2.5);
+}
+
+TEST(TimeGuaranteeParseTest, DefaultIsUnbounded) {
+  Result<query::ParsedQuery> parsed =
+      query::ParseQuery("SELECT v FROM videos");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->qos.max_startup_seconds, 0.0);
+}
+
+TEST(TimeGuaranteeParseTest, RejectsBadBounds) {
+  EXPECT_FALSE(
+      query::ParseQuery("SELECT v FROM videos WITH QOS (startup >= 2)")
+          .ok());
+  EXPECT_FALSE(
+      query::ParseQuery("SELECT v FROM videos WITH QOS (startup <= 0)")
+          .ok());
+}
+
+TEST(TimeGuaranteePlanTest, StartupGrowsWithRelayAndTranscode) {
+  media::ReplicaInfo replica;
+  replica.id = PhysicalOid(1);
+  replica.content = LogicalOid(1);
+  replica.site = SiteId(1);
+  replica.qos = media::QualityLadder::Standard().levels[0];
+  replica.duration_seconds = 60.0;
+  media::FinalizeReplicaSizing(replica);
+
+  core::PlanCostConstants constants;
+  core::Plan local;
+  local.replica_oid = replica.id;
+  local.source_site = replica.site;
+  local.delivery_site = replica.site;
+  FinalizePlan(local, replica, constants);
+
+  core::Plan relayed = local;
+  relayed.delivery_site = SiteId(0);
+  FinalizePlan(relayed, replica, constants);
+  EXPECT_GT(relayed.startup_seconds, local.startup_seconds);
+
+  core::Plan transcoded = local;
+  transcoded.transform.transcode_target =
+      media::QualityLadder::Standard().levels[1];
+  FinalizePlan(transcoded, replica, constants);
+  EXPECT_GT(transcoded.startup_seconds, local.startup_seconds);
+  EXPECT_NEAR(local.startup_seconds,
+              constants.startup_base_seconds + constants.buffer_seconds,
+              1e-9);
+}
+
+TEST(TimeGuaranteePlanTest, TightBoundPrunesSlowPlans) {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  core::MediaDbSystem system(&simulator, options);
+
+  query::QosRequirement qos;
+  qos.range.min_frame_rate = 1.0;
+  Result<std::vector<core::Plan>> unbounded =
+      system.quality_manager()->generator().Generate(SiteId(0),
+                                                     LogicalOid(0), qos);
+  ASSERT_TRUE(unbounded.ok());
+
+  // Base (0.5) + buffer (2.0) = 2.5 s: only local, non-transcoding
+  // plans survive a 2.6 s guarantee.
+  qos.max_startup_seconds = 2.6;
+  Result<std::vector<core::Plan>> bounded =
+      system.quality_manager()->generator().Generate(SiteId(0),
+                                                     LogicalOid(0), qos);
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_LT(bounded->size(), unbounded->size());
+  ASSERT_FALSE(bounded->empty());
+  for (const core::Plan& plan : *bounded) {
+    EXPECT_FALSE(plan.IsRelayed()) << plan.ToString();
+    EXPECT_FALSE(plan.transform.transcode_target.has_value())
+        << plan.ToString();
+    EXPECT_LE(plan.startup_seconds, 2.6);
+  }
+}
+
+TEST(TimeGuaranteePlanTest, ImpossibleBoundYieldsNoPlans) {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  core::MediaDbSystem system(&simulator, options);
+  query::QosRequirement qos;
+  qos.range.min_frame_rate = 1.0;
+  qos.max_startup_seconds = 0.1;  // below even the base setup
+  Result<std::vector<core::Plan>> plans =
+      system.quality_manager()->generator().Generate(SiteId(0),
+                                                     LogicalOid(0), qos);
+  ASSERT_TRUE(plans.ok());
+  EXPECT_TRUE(plans->empty());
+}
+
+TEST(TimeGuaranteeEndToEndTest, TextQueryWithStartupBoundDelivers) {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  core::MediaDbSystem system(&simulator, options);
+  const std::string keyword = system.library().contents[0].keywords[0];
+  Result<core::MediaDbSystem::TextQueryOutcome> outcome =
+      system.SubmitTextQuery(
+          SiteId(0), "SELECT video FROM videos WHERE CONTAINS('" + keyword +
+                         "') WITH QOS (framerate >= 5, startup <= 2.6)");
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->delivery.status.ok());
+}
+
+}  // namespace
+}  // namespace quasaq

@@ -1,0 +1,133 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::workload {
+namespace {
+
+core::UserProfile Profile() {
+  return core::UserProfile(UserId(1), "trace-test");
+}
+
+TEST(TraceParseTest, ParsesWellFormedTrace) {
+  core::UserProfile profile = Profile();
+  Result<std::vector<TraceEntry>> entries = ParseTrace(
+      "# comment line\n"
+      "0.5,3,0,high,medium,low,medium,none\n"
+      "\n"
+      "2.25,14,2,low,low,low,low,strong\n",
+      profile);
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 2u);
+  const TraceEntry& first = (*entries)[0];
+  EXPECT_DOUBLE_EQ(first.arrival_seconds, 0.5);
+  EXPECT_EQ(first.spec.content, LogicalOid(3));
+  EXPECT_EQ(first.spec.client_site, SiteId(0));
+  EXPECT_EQ(first.spec.qop.spatial, core::QopLevel::kHigh);
+  EXPECT_EQ(first.spec.qop.color, core::QopLevel::kLow);
+  EXPECT_EQ(first.spec.qos.min_security, media::SecurityLevel::kNone);
+  // The QoS range was translated through the profile.
+  EXPECT_EQ(first.spec.qos.range.min_resolution, media::kResolutionSvcd);
+  const TraceEntry& second = (*entries)[1];
+  EXPECT_EQ(second.spec.qos.min_security, media::SecurityLevel::kStrong);
+}
+
+TEST(TraceParseTest, RejectsBadFieldCount) {
+  core::UserProfile profile = Profile();
+  Result<std::vector<TraceEntry>> entries =
+      ParseTrace("1.0,3,0,high,medium\n", profile);
+  ASSERT_FALSE(entries.ok());
+  EXPECT_NE(entries.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(TraceParseTest, RejectsBadLevelNamingLine) {
+  core::UserProfile profile = Profile();
+  Result<std::vector<TraceEntry>> entries = ParseTrace(
+      "1.0,3,0,high,medium,low,medium,none\n"
+      "2.0,3,0,ultra,medium,low,medium,none\n",
+      profile);
+  ASSERT_FALSE(entries.ok());
+  EXPECT_NE(entries.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(entries.status().message().find("ultra"), std::string::npos);
+}
+
+TEST(TraceParseTest, RejectsNegativeArrival) {
+  core::UserProfile profile = Profile();
+  Result<std::vector<TraceEntry>> entries =
+      ParseTrace("-1.0,3,0,high,medium,low,medium,none\n", profile);
+  ASSERT_FALSE(entries.ok());
+}
+
+TEST(TraceParseTest, EmptyTraceIsEmpty) {
+  core::UserProfile profile = Profile();
+  Result<std::vector<TraceEntry>> entries =
+      ParseTrace("# nothing here\n\n", profile);
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+TEST(TraceRoundTripTest, FormatThenParseIsIdentity) {
+  TrafficOptions options;
+  options.fraction_secure = 0.3;
+  TrafficGenerator generator(options, 15,
+                             {SiteId(0), SiteId(1), SiteId(2)});
+  std::vector<TraceEntry> recorded = RecordTrace(generator, 50);
+  core::UserProfile profile = Profile();
+  Result<std::vector<TraceEntry>> parsed =
+      ParseTrace(FormatTrace(recorded), profile);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), recorded.size());
+  for (size_t i = 0; i < recorded.size(); ++i) {
+    EXPECT_NEAR((*parsed)[i].arrival_seconds, recorded[i].arrival_seconds,
+                1e-4);
+    EXPECT_EQ((*parsed)[i].spec.content, recorded[i].spec.content);
+    EXPECT_EQ((*parsed)[i].spec.client_site, recorded[i].spec.client_site);
+    EXPECT_EQ(static_cast<int>((*parsed)[i].spec.qop.spatial),
+              static_cast<int>(recorded[i].spec.qop.spatial));
+    EXPECT_EQ(static_cast<int>((*parsed)[i].spec.qop.audio),
+              static_cast<int>(recorded[i].spec.qop.audio));
+    EXPECT_EQ((*parsed)[i].spec.qos.min_security,
+              recorded[i].spec.qos.min_security);
+  }
+}
+
+TEST(TraceReplayTest, ArrivalTimesAreHonored) {
+  core::UserProfile profile = Profile();
+  Result<std::vector<TraceEntry>> entries = ParseTrace(
+      "1.0,0,0,medium,medium,medium,medium,none\n"
+      "5.0,1,1,low,low,low,low,none\n",
+      profile);
+  ASSERT_TRUE(entries.ok());
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  options.library.max_duration_seconds = 60.0;
+  core::MediaDbSystem system(&simulator, options);
+  TraceReplayResult result = ReplayTrace(*entries, system, simulator);
+  EXPECT_EQ(result.admitted, 2);
+  EXPECT_EQ(result.rejected, 0);
+  EXPECT_EQ(result.stats.completed, 2u);
+}
+
+TEST(TraceReplayTest, SameTraceSameOutcomeAcrossRuns) {
+  TrafficGenerator generator(TrafficOptions(), 15,
+                             {SiteId(0), SiteId(1), SiteId(2)});
+  std::vector<TraceEntry> trace = RecordTrace(generator, 200);
+
+  auto run = [&trace] {
+    sim::Simulator simulator;
+    core::MediaDbSystem::Options options;
+    options.kind = core::SystemKind::kVdbmsQuasaq;
+    options.library.max_duration_seconds = 60.0;
+    core::MediaDbSystem system(&simulator, options);
+    return ReplayTrace(trace, system, simulator);
+  };
+  TraceReplayResult a = run();
+  TraceReplayResult b = run();
+  EXPECT_EQ(a.admitted, b.admitted);
+  EXPECT_EQ(a.rejected, b.rejected);
+  EXPECT_EQ(a.stats.completed, b.stats.completed);
+}
+
+}  // namespace
+}  // namespace quasaq::workload

@@ -1,0 +1,127 @@
+#include "workload/traffic.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace quasaq::workload {
+namespace {
+
+std::vector<SiteId> ThreeSites() {
+  return {SiteId(0), SiteId(1), SiteId(2)};
+}
+
+TEST(TrafficGeneratorTest, GapsFollowExponentialMean) {
+  TrafficOptions options;
+  options.mean_interarrival_seconds = 1.0;
+  TrafficGenerator generator(options, 15, ThreeSites());
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += generator.NextGapSeconds();
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(TrafficGeneratorTest, VideosCoverTheWholeLibrary) {
+  TrafficGenerator generator(TrafficOptions(), 15, ThreeSites());
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    QuerySpec spec = generator.Next();
+    ASSERT_GE(spec.content.value(), 0);
+    ASSERT_LT(spec.content.value(), 15);
+    seen.insert(spec.content.value());
+  }
+  EXPECT_EQ(seen.size(), 15u);
+}
+
+TEST(TrafficGeneratorTest, UniformAccessIsRoughlyBalanced) {
+  TrafficGenerator generator(TrafficOptions(), 5, ThreeSites());
+  std::vector<int> counts(5, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(generator.Next().content.value())];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.03);
+  }
+}
+
+TEST(TrafficGeneratorTest, ZipfSkewsTowardFirstVideos) {
+  TrafficOptions options;
+  options.video_zipf_s = 1.2;
+  TrafficGenerator generator(options, 10, ThreeSites());
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[static_cast<size_t>(generator.Next().content.value())];
+  }
+  EXPECT_GT(counts[0], counts[9] * 2);
+}
+
+TEST(TrafficGeneratorTest, ClientSitesCoverAllSites) {
+  TrafficGenerator generator(TrafficOptions(), 15, ThreeSites());
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(generator.Next().client_site.value());
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(TrafficGeneratorTest, QosRangesAreAlwaysValid) {
+  TrafficGenerator generator(TrafficOptions(), 15, ThreeSites());
+  for (int i = 0; i < 2000; ++i) {
+    QuerySpec spec = generator.Next();
+    const media::AppQosRange& range = spec.qos.range;
+    EXPECT_LE(range.min_resolution.PixelCount(),
+              range.max_resolution.PixelCount());
+    EXPECT_LE(range.min_frame_rate, range.max_frame_rate);
+    EXPECT_LE(range.min_color_depth_bits, range.max_color_depth_bits);
+    EXPECT_NE(range.accepted_formats, 0u);
+  }
+}
+
+TEST(TrafficGeneratorTest, AllQopLevelsAppear) {
+  TrafficGenerator generator(TrafficOptions(), 15, ThreeSites());
+  std::set<int> spatial_levels;
+  for (int i = 0; i < 500; ++i) {
+    spatial_levels.insert(static_cast<int>(generator.Next().qop.spatial));
+  }
+  EXPECT_EQ(spatial_levels.size(), 3u);
+}
+
+TEST(TrafficGeneratorTest, NoSecurityByDefault) {
+  TrafficGenerator generator(TrafficOptions(), 15, ThreeSites());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(generator.Next().qos.min_security,
+              media::SecurityLevel::kNone);
+  }
+}
+
+TEST(TrafficGeneratorTest, SecureFractionProducesSecureQueries) {
+  TrafficOptions options;
+  options.fraction_secure = 0.5;
+  TrafficGenerator generator(options, 15, ThreeSites());
+  int secure = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    if (generator.Next().qos.min_security != media::SecurityLevel::kNone) {
+      ++secure;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(secure) / n, 0.5, 0.05);
+}
+
+TEST(TrafficGeneratorTest, DeterministicForSeed) {
+  TrafficGenerator a(TrafficOptions(), 15, ThreeSites());
+  TrafficGenerator b(TrafficOptions(), 15, ThreeSites());
+  for (int i = 0; i < 100; ++i) {
+    QuerySpec sa = a.Next();
+    QuerySpec sb = b.Next();
+    EXPECT_EQ(sa.content, sb.content);
+    EXPECT_EQ(sa.client_site, sb.client_site);
+    EXPECT_EQ(static_cast<int>(sa.qop.spatial),
+              static_cast<int>(sb.qop.spatial));
+    EXPECT_DOUBLE_EQ(a.NextGapSeconds(), b.NextGapSeconds());
+  }
+}
+
+}  // namespace
+}  // namespace quasaq::workload

@@ -1,0 +1,102 @@
+#include "core/utility.h"
+
+#include <gtest/gtest.h>
+
+namespace quasaq::core {
+namespace {
+
+TEST(AxisUtilityTest, RampsAcrossTheWindow) {
+  EXPECT_DOUBLE_EQ(AxisUtility(10.0, 10.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(AxisUtility(15.0, 10.0, 20.0), 0.5);
+  EXPECT_DOUBLE_EQ(AxisUtility(20.0, 10.0, 20.0), 1.0);
+}
+
+TEST(AxisUtilityTest, ClampsOutsideTheWindow) {
+  EXPECT_DOUBLE_EQ(AxisUtility(5.0, 10.0, 20.0), 0.0);
+  EXPECT_DOUBLE_EQ(AxisUtility(25.0, 10.0, 20.0), 1.0);
+}
+
+TEST(AxisUtilityTest, DegenerateWindowScoresMembership) {
+  EXPECT_DOUBLE_EQ(AxisUtility(24.0, 24.0, 24.0), 1.0);
+  EXPECT_DOUBLE_EQ(AxisUtility(12.0, 24.0, 24.0), 0.0);
+}
+
+TEST(PresentationUtilityTest, IdealDeliveryScoresOne) {
+  media::AppQosRange range;
+  range.min_resolution = media::kResolutionSif;
+  range.max_resolution = media::kResolutionDvd;
+  range.min_frame_rate = 10.0;
+  range.max_frame_rate = 23.97;
+  range.min_color_depth_bits = 12;
+  range.max_color_depth_bits = 24;
+  media::AppQos best{media::kResolutionDvd, 24, 23.97,
+                     media::VideoFormat::kMpeg2};
+  EXPECT_DOUBLE_EQ(PresentationUtility(best, range), 1.0);
+}
+
+TEST(PresentationUtilityTest, FloorDeliveryScoresZero) {
+  media::AppQosRange range;
+  range.min_resolution = media::kResolutionSif;
+  range.max_resolution = media::kResolutionDvd;
+  range.min_frame_rate = 10.0;
+  range.max_frame_rate = 23.97;
+  range.min_color_depth_bits = 12;
+  range.max_color_depth_bits = 24;
+  media::AppQos floor{media::kResolutionSif, 12, 10.0,
+                      media::VideoFormat::kMpeg1, media::AudioQuality::kNone};
+  EXPECT_DOUBLE_EQ(PresentationUtility(floor, range), 0.0);
+}
+
+TEST(PresentationUtilityTest, WeightsShiftTheScore) {
+  media::AppQosRange range;
+  range.min_resolution = media::kResolutionSif;
+  range.max_resolution = media::kResolutionDvd;
+  range.min_frame_rate = 10.0;
+  range.max_frame_rate = 30.0;
+  range.min_color_depth_bits = 12;
+  range.max_color_depth_bits = 24;
+  // Max resolution, min everything else.
+  media::AppQos delivered{media::kResolutionDvd, 12, 10.0,
+                          media::VideoFormat::kMpeg1};
+  UtilityWeights spatial_heavy{10.0, 1.0, 1.0};
+  UtilityWeights temporal_heavy{1.0, 10.0, 1.0};
+  EXPECT_GT(PresentationUtility(delivered, range, spatial_heavy),
+            PresentationUtility(delivered, range, temporal_heavy));
+}
+
+TEST(PresentationUtilityTest, MonotoneInDeliveredQuality) {
+  media::AppQosRange range;  // default wide range
+  media::AppQos low{media::kResolutionSif, 12, 15.0,
+                    media::VideoFormat::kMpeg1};
+  media::AppQos high{media::kResolutionDvd, 24, 23.97,
+                     media::VideoFormat::kMpeg2};
+  EXPECT_LT(PresentationUtility(low, range),
+            PresentationUtility(high, range));
+}
+
+TEST(SatisfactionGainTest, GainStaysPositiveAndBounded) {
+  media::AppQosRange range;
+  auto gain = MakeSatisfactionGain(range);
+  Plan plan;
+  plan.delivered_qos = media::AppQos{media::kResolutionQcif, 12, 5.0,
+                                     media::VideoFormat::kMpeg1};
+  EXPECT_GE(gain(plan), 0.1);
+  plan.delivered_qos = media::AppQos{media::kResolutionDvd, 24, 60.0,
+                                     media::VideoFormat::kMpeg2};
+  EXPECT_LE(gain(plan), 1.0);
+}
+
+TEST(SatisfactionGainTest, PrefersRicherDelivery) {
+  media::AppQosRange range;
+  auto gain = MakeSatisfactionGain(range);
+  Plan low;
+  low.delivered_qos = media::AppQos{media::kResolutionSif, 12, 15.0,
+                                    media::VideoFormat::kMpeg1};
+  Plan high;
+  high.delivered_qos = media::AppQos{media::kResolutionDvd, 24, 23.97,
+                                     media::VideoFormat::kMpeg2};
+  EXPECT_GT(gain(high), gain(low));
+}
+
+}  // namespace
+}  // namespace quasaq::core
