@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_costmodels.dir/ablation_costmodels.cc.o"
+  "CMakeFiles/bench_ablation_costmodels.dir/ablation_costmodels.cc.o.d"
+  "bench_ablation_costmodels"
+  "bench_ablation_costmodels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_costmodels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

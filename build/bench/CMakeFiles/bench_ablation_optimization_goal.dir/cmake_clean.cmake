@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_optimization_goal.dir/ablation_optimization_goal.cc.o"
+  "CMakeFiles/bench_ablation_optimization_goal.dir/ablation_optimization_goal.cc.o.d"
+  "bench_ablation_optimization_goal"
+  "bench_ablation_optimization_goal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_optimization_goal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

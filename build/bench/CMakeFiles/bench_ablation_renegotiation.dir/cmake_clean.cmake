@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_renegotiation.dir/ablation_renegotiation.cc.o"
+  "CMakeFiles/bench_ablation_renegotiation.dir/ablation_renegotiation.cc.o.d"
+  "bench_ablation_renegotiation"
+  "bench_ablation_renegotiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_renegotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_interframe.dir/fig5_interframe.cc.o"
+  "CMakeFiles/bench_fig5_interframe.dir/fig5_interframe.cc.o.d"
+  "bench_fig5_interframe"
+  "bench_fig5_interframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_interframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lrb_model.dir/lrb_model.cc.o"
+  "CMakeFiles/bench_lrb_model.dir/lrb_model.cc.o.d"
+  "bench_lrb_model"
+  "bench_lrb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lrb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

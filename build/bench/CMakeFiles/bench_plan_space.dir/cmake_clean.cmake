@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_space.dir/plan_space.cc.o"
+  "CMakeFiles/bench_plan_space.dir/plan_space.cc.o.d"
+  "bench_plan_space"
+  "bench_plan_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_renegotiation_midstream.dir/renegotiation_midstream.cc.o"
+  "CMakeFiles/bench_renegotiation_midstream.dir/renegotiation_midstream.cc.o.d"
+  "bench_renegotiation_midstream"
+  "bench_renegotiation_midstream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_renegotiation_midstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_renegotiation_midstream.
+# This may be replaced when dependencies are built.

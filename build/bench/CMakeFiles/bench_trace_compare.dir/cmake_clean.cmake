@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_compare.dir/trace_compare.cc.o"
+  "CMakeFiles/bench_trace_compare.dir/trace_compare.cc.o.d"
+  "bench_trace_compare"
+  "bench_trace_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

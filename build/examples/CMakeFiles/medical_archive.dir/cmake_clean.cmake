@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medical_archive.dir/medical_archive.cpp.o"
+  "CMakeFiles/medical_archive.dir/medical_archive.cpp.o.d"
+  "medical_archive"
+  "medical_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medical_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_shell.dir/quasaq_shell.cpp.o"
+  "CMakeFiles/quasaq_shell.dir/quasaq_shell.cpp.o.d"
+  "quasaq_shell"
+  "quasaq_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_portal.dir/video_portal.cpp.o"
+  "CMakeFiles/video_portal.dir/video_portal.cpp.o.d"
+  "video_portal"
+  "video_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

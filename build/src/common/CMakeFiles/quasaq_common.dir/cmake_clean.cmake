@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_common.dir/logging.cc.o"
+  "CMakeFiles/quasaq_common.dir/logging.cc.o.d"
+  "CMakeFiles/quasaq_common.dir/resource_vector.cc.o"
+  "CMakeFiles/quasaq_common.dir/resource_vector.cc.o.d"
+  "CMakeFiles/quasaq_common.dir/rng.cc.o"
+  "CMakeFiles/quasaq_common.dir/rng.cc.o.d"
+  "CMakeFiles/quasaq_common.dir/stats.cc.o"
+  "CMakeFiles/quasaq_common.dir/stats.cc.o.d"
+  "CMakeFiles/quasaq_common.dir/status.cc.o"
+  "CMakeFiles/quasaq_common.dir/status.cc.o.d"
+  "libquasaq_common.a"
+  "libquasaq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

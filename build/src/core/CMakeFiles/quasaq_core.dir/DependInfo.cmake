@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_evaluator.cc" "src/core/CMakeFiles/quasaq_core.dir/cost_evaluator.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/cost_evaluator.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/quasaq_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/plan.cc" "src/core/CMakeFiles/quasaq_core.dir/plan.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/plan.cc.o.d"
+  "/root/repo/src/core/plan_executor.cc" "src/core/CMakeFiles/quasaq_core.dir/plan_executor.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/plan_executor.cc.o.d"
+  "/root/repo/src/core/plan_generator.cc" "src/core/CMakeFiles/quasaq_core.dir/plan_generator.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/plan_generator.cc.o.d"
+  "/root/repo/src/core/qop.cc" "src/core/CMakeFiles/quasaq_core.dir/qop.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/qop.cc.o.d"
+  "/root/repo/src/core/qop_browser.cc" "src/core/CMakeFiles/quasaq_core.dir/qop_browser.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/qop_browser.cc.o.d"
+  "/root/repo/src/core/quality_manager.cc" "src/core/CMakeFiles/quasaq_core.dir/quality_manager.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/quality_manager.cc.o.d"
+  "/root/repo/src/core/query_producer.cc" "src/core/CMakeFiles/quasaq_core.dir/query_producer.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/query_producer.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/quasaq_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/system.cc.o.d"
+  "/root/repo/src/core/utility.cc" "src/core/CMakeFiles/quasaq_core.dir/utility.cc.o" "gcc" "src/core/CMakeFiles/quasaq_core.dir/utility.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/quasaq_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/quasaq_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/quasaq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/quasaq_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/quasaq_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/quasaq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/quasaq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/quasaq_replication.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

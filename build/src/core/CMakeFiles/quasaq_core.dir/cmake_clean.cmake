@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_core.dir/cost_evaluator.cc.o"
+  "CMakeFiles/quasaq_core.dir/cost_evaluator.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/cost_model.cc.o"
+  "CMakeFiles/quasaq_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/plan.cc.o"
+  "CMakeFiles/quasaq_core.dir/plan.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/plan_executor.cc.o"
+  "CMakeFiles/quasaq_core.dir/plan_executor.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/plan_generator.cc.o"
+  "CMakeFiles/quasaq_core.dir/plan_generator.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/qop.cc.o"
+  "CMakeFiles/quasaq_core.dir/qop.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/qop_browser.cc.o"
+  "CMakeFiles/quasaq_core.dir/qop_browser.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/quality_manager.cc.o"
+  "CMakeFiles/quasaq_core.dir/quality_manager.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/query_producer.cc.o"
+  "CMakeFiles/quasaq_core.dir/query_producer.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/system.cc.o"
+  "CMakeFiles/quasaq_core.dir/system.cc.o.d"
+  "CMakeFiles/quasaq_core.dir/utility.cc.o"
+  "CMakeFiles/quasaq_core.dir/utility.cc.o.d"
+  "libquasaq_core.a"
+  "libquasaq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/media/activities.cc" "src/media/CMakeFiles/quasaq_media.dir/activities.cc.o" "gcc" "src/media/CMakeFiles/quasaq_media.dir/activities.cc.o.d"
+  "/root/repo/src/media/frames.cc" "src/media/CMakeFiles/quasaq_media.dir/frames.cc.o" "gcc" "src/media/CMakeFiles/quasaq_media.dir/frames.cc.o.d"
+  "/root/repo/src/media/library.cc" "src/media/CMakeFiles/quasaq_media.dir/library.cc.o" "gcc" "src/media/CMakeFiles/quasaq_media.dir/library.cc.o.d"
+  "/root/repo/src/media/quality.cc" "src/media/CMakeFiles/quasaq_media.dir/quality.cc.o" "gcc" "src/media/CMakeFiles/quasaq_media.dir/quality.cc.o.d"
+  "/root/repo/src/media/video.cc" "src/media/CMakeFiles/quasaq_media.dir/video.cc.o" "gcc" "src/media/CMakeFiles/quasaq_media.dir/video.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_media.dir/activities.cc.o"
+  "CMakeFiles/quasaq_media.dir/activities.cc.o.d"
+  "CMakeFiles/quasaq_media.dir/frames.cc.o"
+  "CMakeFiles/quasaq_media.dir/frames.cc.o.d"
+  "CMakeFiles/quasaq_media.dir/library.cc.o"
+  "CMakeFiles/quasaq_media.dir/library.cc.o.d"
+  "CMakeFiles/quasaq_media.dir/quality.cc.o"
+  "CMakeFiles/quasaq_media.dir/quality.cc.o.d"
+  "CMakeFiles/quasaq_media.dir/video.cc.o"
+  "CMakeFiles/quasaq_media.dir/video.cc.o.d"
+  "libquasaq_media.a"
+  "libquasaq_media.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_media.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

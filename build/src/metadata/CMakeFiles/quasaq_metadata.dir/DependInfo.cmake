@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metadata/distributed_engine.cc" "src/metadata/CMakeFiles/quasaq_metadata.dir/distributed_engine.cc.o" "gcc" "src/metadata/CMakeFiles/quasaq_metadata.dir/distributed_engine.cc.o.d"
+  "/root/repo/src/metadata/metadata_store.cc" "src/metadata/CMakeFiles/quasaq_metadata.dir/metadata_store.cc.o" "gcc" "src/metadata/CMakeFiles/quasaq_metadata.dir/metadata_store.cc.o.d"
+  "/root/repo/src/metadata/qos_profile.cc" "src/metadata/CMakeFiles/quasaq_metadata.dir/qos_profile.cc.o" "gcc" "src/metadata/CMakeFiles/quasaq_metadata.dir/qos_profile.cc.o.d"
+  "/root/repo/src/metadata/snapshot.cc" "src/metadata/CMakeFiles/quasaq_metadata.dir/snapshot.cc.o" "gcc" "src/metadata/CMakeFiles/quasaq_metadata.dir/snapshot.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/quasaq_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

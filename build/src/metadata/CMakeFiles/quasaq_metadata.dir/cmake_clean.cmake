@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_metadata.dir/distributed_engine.cc.o"
+  "CMakeFiles/quasaq_metadata.dir/distributed_engine.cc.o.d"
+  "CMakeFiles/quasaq_metadata.dir/metadata_store.cc.o"
+  "CMakeFiles/quasaq_metadata.dir/metadata_store.cc.o.d"
+  "CMakeFiles/quasaq_metadata.dir/qos_profile.cc.o"
+  "CMakeFiles/quasaq_metadata.dir/qos_profile.cc.o.d"
+  "CMakeFiles/quasaq_metadata.dir/snapshot.cc.o"
+  "CMakeFiles/quasaq_metadata.dir/snapshot.cc.o.d"
+  "libquasaq_metadata.a"
+  "libquasaq_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

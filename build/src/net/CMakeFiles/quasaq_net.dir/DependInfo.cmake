@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/playback.cc" "src/net/CMakeFiles/quasaq_net.dir/playback.cc.o" "gcc" "src/net/CMakeFiles/quasaq_net.dir/playback.cc.o.d"
+  "/root/repo/src/net/rtp.cc" "src/net/CMakeFiles/quasaq_net.dir/rtp.cc.o" "gcc" "src/net/CMakeFiles/quasaq_net.dir/rtp.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/quasaq_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/quasaq_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/quasaq_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/quasaq_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/quasaq_resource.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

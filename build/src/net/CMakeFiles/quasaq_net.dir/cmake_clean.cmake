@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_net.dir/playback.cc.o"
+  "CMakeFiles/quasaq_net.dir/playback.cc.o.d"
+  "CMakeFiles/quasaq_net.dir/rtp.cc.o"
+  "CMakeFiles/quasaq_net.dir/rtp.cc.o.d"
+  "CMakeFiles/quasaq_net.dir/topology.cc.o"
+  "CMakeFiles/quasaq_net.dir/topology.cc.o.d"
+  "libquasaq_net.a"
+  "libquasaq_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquasaq_net.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/content_search.cc" "src/query/CMakeFiles/quasaq_query.dir/content_search.cc.o" "gcc" "src/query/CMakeFiles/quasaq_query.dir/content_search.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/quasaq_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/quasaq_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/quasaq_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/quasaq_query.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/quasaq_media.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_query.dir/content_search.cc.o"
+  "CMakeFiles/quasaq_query.dir/content_search.cc.o.d"
+  "CMakeFiles/quasaq_query.dir/lexer.cc.o"
+  "CMakeFiles/quasaq_query.dir/lexer.cc.o.d"
+  "CMakeFiles/quasaq_query.dir/parser.cc.o"
+  "CMakeFiles/quasaq_query.dir/parser.cc.o.d"
+  "libquasaq_query.a"
+  "libquasaq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replication/access_tracker.cc" "src/replication/CMakeFiles/quasaq_replication.dir/access_tracker.cc.o" "gcc" "src/replication/CMakeFiles/quasaq_replication.dir/access_tracker.cc.o.d"
+  "/root/repo/src/replication/manager.cc" "src/replication/CMakeFiles/quasaq_replication.dir/manager.cc.o" "gcc" "src/replication/CMakeFiles/quasaq_replication.dir/manager.cc.o.d"
+  "/root/repo/src/replication/policy.cc" "src/replication/CMakeFiles/quasaq_replication.dir/policy.cc.o" "gcc" "src/replication/CMakeFiles/quasaq_replication.dir/policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/quasaq_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/quasaq_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/quasaq_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/quasaq_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

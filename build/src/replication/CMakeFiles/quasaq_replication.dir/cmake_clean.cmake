@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_replication.dir/access_tracker.cc.o"
+  "CMakeFiles/quasaq_replication.dir/access_tracker.cc.o.d"
+  "CMakeFiles/quasaq_replication.dir/manager.cc.o"
+  "CMakeFiles/quasaq_replication.dir/manager.cc.o.d"
+  "CMakeFiles/quasaq_replication.dir/policy.cc.o"
+  "CMakeFiles/quasaq_replication.dir/policy.cc.o.d"
+  "libquasaq_replication.a"
+  "libquasaq_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

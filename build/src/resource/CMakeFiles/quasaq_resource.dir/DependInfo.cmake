@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/resource/composite_api.cc" "src/resource/CMakeFiles/quasaq_resource.dir/composite_api.cc.o" "gcc" "src/resource/CMakeFiles/quasaq_resource.dir/composite_api.cc.o.d"
+  "/root/repo/src/resource/cpu_scheduler.cc" "src/resource/CMakeFiles/quasaq_resource.dir/cpu_scheduler.cc.o" "gcc" "src/resource/CMakeFiles/quasaq_resource.dir/cpu_scheduler.cc.o.d"
+  "/root/repo/src/resource/pool.cc" "src/resource/CMakeFiles/quasaq_resource.dir/pool.cc.o" "gcc" "src/resource/CMakeFiles/quasaq_resource.dir/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/quasaq_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_resource.dir/composite_api.cc.o"
+  "CMakeFiles/quasaq_resource.dir/composite_api.cc.o.d"
+  "CMakeFiles/quasaq_resource.dir/cpu_scheduler.cc.o"
+  "CMakeFiles/quasaq_resource.dir/cpu_scheduler.cc.o.d"
+  "CMakeFiles/quasaq_resource.dir/pool.cc.o"
+  "CMakeFiles/quasaq_resource.dir/pool.cc.o.d"
+  "libquasaq_resource.a"
+  "libquasaq_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

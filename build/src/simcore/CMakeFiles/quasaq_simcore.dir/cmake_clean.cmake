@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_simcore.dir/fluid.cc.o"
+  "CMakeFiles/quasaq_simcore.dir/fluid.cc.o.d"
+  "CMakeFiles/quasaq_simcore.dir/simulator.cc.o"
+  "CMakeFiles/quasaq_simcore.dir/simulator.cc.o.d"
+  "libquasaq_simcore.a"
+  "libquasaq_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

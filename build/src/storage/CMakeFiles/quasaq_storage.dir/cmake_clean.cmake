@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_storage.dir/disk_model.cc.o"
+  "CMakeFiles/quasaq_storage.dir/disk_model.cc.o.d"
+  "CMakeFiles/quasaq_storage.dir/object_store.cc.o"
+  "CMakeFiles/quasaq_storage.dir/object_store.cc.o.d"
+  "CMakeFiles/quasaq_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/quasaq_storage.dir/storage_manager.cc.o.d"
+  "libquasaq_storage.a"
+  "libquasaq_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasaq_workload.dir/interframe.cc.o"
+  "CMakeFiles/quasaq_workload.dir/interframe.cc.o.d"
+  "CMakeFiles/quasaq_workload.dir/throughput.cc.o"
+  "CMakeFiles/quasaq_workload.dir/throughput.cc.o.d"
+  "CMakeFiles/quasaq_workload.dir/trace.cc.o"
+  "CMakeFiles/quasaq_workload.dir/trace.cc.o.d"
+  "CMakeFiles/quasaq_workload.dir/traffic.cc.o"
+  "CMakeFiles/quasaq_workload.dir/traffic.cc.o.d"
+  "libquasaq_workload.a"
+  "libquasaq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasaq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

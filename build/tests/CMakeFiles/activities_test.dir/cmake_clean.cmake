@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activities_test.dir/activities_test.cc.o"
+  "CMakeFiles/activities_test.dir/activities_test.cc.o.d"
+  "activities_test"
+  "activities_test.pdb"
+  "activities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

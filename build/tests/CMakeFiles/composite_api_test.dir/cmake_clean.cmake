@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_api_test.dir/composite_api_test.cc.o"
+  "CMakeFiles/composite_api_test.dir/composite_api_test.cc.o.d"
+  "composite_api_test"
+  "composite_api_test.pdb"
+  "composite_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

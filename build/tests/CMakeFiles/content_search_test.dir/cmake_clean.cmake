@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_search_test.dir/content_search_test.cc.o"
+  "CMakeFiles/content_search_test.dir/content_search_test.cc.o.d"
+  "content_search_test"
+  "content_search_test.pdb"
+  "content_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

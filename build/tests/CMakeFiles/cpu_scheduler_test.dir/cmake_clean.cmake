@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_scheduler_test.dir/cpu_scheduler_test.cc.o"
+  "CMakeFiles/cpu_scheduler_test.dir/cpu_scheduler_test.cc.o.d"
+  "cpu_scheduler_test"
+  "cpu_scheduler_test.pdb"
+  "cpu_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

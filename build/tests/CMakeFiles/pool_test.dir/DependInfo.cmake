@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pool_test.cc" "tests/CMakeFiles/pool_test.dir/pool_test.cc.o" "gcc" "tests/CMakeFiles/pool_test.dir/pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/quasaq_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/quasaq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/quasaq_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/resource/CMakeFiles/quasaq_resource.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/quasaq_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/quasaq_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/quasaq_simcore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/quasaq_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/metadata/CMakeFiles/quasaq_metadata.dir/DependInfo.cmake"
+  "/root/repo/build/src/media/CMakeFiles/quasaq_media.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quasaq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

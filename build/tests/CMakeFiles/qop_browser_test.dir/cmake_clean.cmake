@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qop_browser_test.dir/qop_browser_test.cc.o"
+  "CMakeFiles/qop_browser_test.dir/qop_browser_test.cc.o.d"
+  "qop_browser_test"
+  "qop_browser_test.pdb"
+  "qop_browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qop_browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qop_test.dir/qop_test.cc.o"
+  "CMakeFiles/qop_test.dir/qop_test.cc.o.d"
+  "qop_test"
+  "qop_test.pdb"
+  "qop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

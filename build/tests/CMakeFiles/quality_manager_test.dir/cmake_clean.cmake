@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_manager_test.dir/quality_manager_test.cc.o"
+  "CMakeFiles/quality_manager_test.dir/quality_manager_test.cc.o.d"
+  "quality_manager_test"
+  "quality_manager_test.pdb"
+  "quality_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renegotiation_test.dir/renegotiation_test.cc.o"
+  "CMakeFiles/renegotiation_test.dir/renegotiation_test.cc.o.d"
+  "renegotiation_test"
+  "renegotiation_test.pdb"
+  "renegotiation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renegotiation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

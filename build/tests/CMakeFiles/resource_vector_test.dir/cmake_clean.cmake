@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_vector_test.dir/resource_vector_test.cc.o"
+  "CMakeFiles/resource_vector_test.dir/resource_vector_test.cc.o.d"
+  "resource_vector_test"
+  "resource_vector_test.pdb"
+  "resource_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

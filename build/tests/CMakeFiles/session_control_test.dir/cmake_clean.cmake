@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_control_test.dir/session_control_test.cc.o"
+  "CMakeFiles/session_control_test.dir/session_control_test.cc.o.d"
+  "session_control_test"
+  "session_control_test.pdb"
+  "session_control_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_control_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/system_replication_test.dir/system_replication_test.cc.o"
+  "CMakeFiles/system_replication_test.dir/system_replication_test.cc.o.d"
+  "system_replication_test"
+  "system_replication_test.pdb"
+  "system_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/system_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

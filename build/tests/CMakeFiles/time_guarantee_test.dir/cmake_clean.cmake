@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_guarantee_test.dir/time_guarantee_test.cc.o"
+  "CMakeFiles/time_guarantee_test.dir/time_guarantee_test.cc.o.d"
+  "time_guarantee_test"
+  "time_guarantee_test.pdb"
+  "time_guarantee_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_guarantee_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
