@@ -1,15 +1,20 @@
 #ifndef QUASAQ_BENCH_BENCH_UTIL_H_
 #define QUASAQ_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
 
 // Shared printing helpers for the experiment harnesses. Each harness
 // regenerates one table or figure of the paper as text: numeric rows for
-// tables, downsampled series for figures.
+// tables, downsampled series for figures. Alongside the text output,
+// JsonWriter emits the same results machine-readably (one
+// BENCH_<name>.json per harness) so runs can be diffed and plotted
+// without scraping tables.
 
 namespace quasaq::bench {
 
@@ -51,6 +56,110 @@ inline void PrintSeriesTable(
     std::printf("\n");
   }
 }
+
+/// Renders a double as a JSON number ("null" for non-finite values,
+/// which JSON cannot represent).
+inline std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+inline std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Collects one harness's metrics and writes them as a flat JSON object
+// to BENCH_<name>.json in the working directory. Keys keep insertion
+// order so diffs stay stable across runs.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void Add(const std::string& key, double value) {
+    fields_.emplace_back(key, JsonNumber(value));
+  }
+
+  void Add(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+  }
+
+  /// Emits an object with count / mean / stddev / min / max.
+  void AddStats(const std::string& key, const RunningStats& stats) {
+    std::string value = "{\"count\": " +
+                        JsonNumber(static_cast<double>(stats.count())) +
+                        ", \"mean\": " + JsonNumber(stats.mean()) +
+                        ", \"stddev\": " + JsonNumber(stats.stddev()) +
+                        ", \"min\": " + JsonNumber(stats.min()) +
+                        ", \"max\": " + JsonNumber(stats.max()) + "}";
+    fields_.emplace_back(key, value);
+  }
+
+  /// Emits an array of [time_seconds, value] pairs.
+  void AddSeries(const std::string& key,
+                 const std::vector<TimeSeries::Sample>& samples) {
+    std::string value = "[";
+    for (size_t i = 0; i < samples.size(); ++i) {
+      if (i > 0) value += ", ";
+      value += "[" + JsonNumber(SimTimeToSeconds(samples[i].time)) + ", " +
+               JsonNumber(samples[i].value) + "]";
+    }
+    value += "]";
+    fields_.emplace_back(key, value);
+  }
+
+  std::string ToString() const {
+    std::string out = "{\n  \"bench\": \"" + JsonEscape(name_) + "\"";
+    for (const auto& [key, value] : fields_) {
+      out += ",\n  \"" + JsonEscape(key) + "\": " + value;
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns on stderr) when
+  /// the file cannot be written.
+  bool WriteFile() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string body = ToString();
+    std::fwrite(body.data(), 1, body.size(), file);
+    std::fclose(file);
+    std::printf("[json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  // key -> already-rendered JSON value, in insertion order.
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 }  // namespace quasaq::bench
 

@@ -79,11 +79,18 @@ Outcome RunOne(core::SystemKind kind, bool dynamic_replication) {
   return outcome;
 }
 
-void Print(const char* label, const Outcome& outcome) {
+void Print(const char* label, const Outcome& outcome,
+           bench::JsonWriter& json) {
   std::printf("%-34s %10llu %10llu %18.1f\n", label,
               static_cast<unsigned long long>(outcome.stats.admitted),
               static_cast<unsigned long long>(outcome.stats.rejected),
               outcome.stable_sessions);
+  std::string prefix(label);
+  json.Add(prefix + ".admitted",
+           static_cast<double>(outcome.stats.admitted));
+  json.Add(prefix + ".rejected",
+           static_cast<double>(outcome.stats.rejected));
+  json.Add(prefix + ".sessions_in_burst", outcome.stable_sessions);
 }
 
 }  // namespace
@@ -91,13 +98,15 @@ void Print(const char* label, const Outcome& outcome) {
 int main() {
   bench::PrintHeader(
       "Extension — flash crowd on one video (burst 300-600 s, 2 q/s)");
+  bench::JsonWriter json("flash_crowd");
   std::printf("%-34s %10s %10s %18s\n", "system", "admitted", "rejected",
               "sessions in burst");
-  Print("VDBMS", RunOne(core::SystemKind::kVdbms, false));
-  Print("VDBMS+QoSAPI", RunOne(core::SystemKind::kVdbmsQosApi, false));
+  Print("VDBMS", RunOne(core::SystemKind::kVdbms, false), json);
+  Print("VDBMS+QoSAPI", RunOne(core::SystemKind::kVdbmsQosApi, false), json);
   Print("VDBMS+QuaSAQ (static replicas)",
-        RunOne(core::SystemKind::kVdbmsQuasaq, false));
+        RunOne(core::SystemKind::kVdbmsQuasaq, false), json);
   Print("VDBMS+QuaSAQ + dynamic repl",
-        RunOne(core::SystemKind::kVdbmsQuasaq, true));
+        RunOne(core::SystemKind::kVdbmsQuasaq, true), json);
+  json.WriteFile();
   return 0;
 }

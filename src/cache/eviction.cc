@@ -1,0 +1,31 @@
+#include "cache/eviction.h"
+
+#include <cmath>
+
+namespace quasaq::cache {
+
+double LruPolicy::Score(const SegmentMeta& segment, SimTime now) const {
+  (void)now;
+  return static_cast<double>(segment.last_access);
+}
+
+double UtilityWeightedPolicy::Score(const SegmentMeta& segment,
+                                    SimTime now) const {
+  double popularity = segment.popularity;
+  if (options_.popularity_half_life > 0 && now > segment.last_access) {
+    double idle_half_lives =
+        static_cast<double>(now - segment.last_access) /
+        static_cast<double>(options_.popularity_half_life);
+    popularity *= std::exp2(-idle_half_lives);
+  }
+  return popularity /
+         (1.0 + options_.prefix_bias * static_cast<double>(segment.key.index));
+}
+
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(std::string_view name) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "utility") return std::make_unique<UtilityWeightedPolicy>();
+  return nullptr;
+}
+
+}  // namespace quasaq::cache

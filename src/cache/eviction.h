@@ -1,0 +1,81 @@
+#ifndef QUASAQ_CACHE_EVICTION_H_
+#define QUASAQ_CACHE_EVICTION_H_
+
+#include <memory>
+#include <string_view>
+
+#include "common/sim_time.h"
+#include "cache/segment.h"
+
+// Pluggable eviction policies for the segment cache. A policy is a pure
+// retention-score function over the metadata the cache maintains for a
+// resident segment; the cache evicts the lowest-scored segment first
+// (ties break on the segment key, so eviction order is deterministic
+// regardless of hash-map iteration order).
+
+namespace quasaq::cache {
+
+// Everything the cache knows about one resident segment.
+struct SegmentMeta {
+  SegmentKey key;
+  double size_kb = 0.0;
+  SimTime inserted = 0;
+  SimTime last_access = 0;
+  uint64_t access_count = 0;
+  // Exponentially decayed access mass, maintained by the cache (+1 per
+  // access, halved every popularity_half_life of idleness).
+  double popularity = 0.0;
+};
+
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// Retention score of a resident segment at `now`; the lowest score is
+  /// evicted first. Must be a pure function of its arguments.
+  virtual double Score(const SegmentMeta& segment, SimTime now) const = 0;
+};
+
+// Classic least-recently-used: retention score is the last access time.
+class LruPolicy : public EvictionPolicy {
+ public:
+  std::string_view name() const override { return "lru"; }
+  double Score(const SegmentMeta& segment, SimTime now) const override;
+};
+
+// QoS-utility-weighted retention: popular segments score higher, and the
+// early segments of an object are worth more than its tail — a cached
+// prefix hides startup disk reads for *every* future viewer, while tail
+// segments only pay off for viewers that get that far. Score is the
+// decayed access mass divided by (1 + prefix_bias * segment index), so a
+// flash crowd keeps its video's prefix resident while one-off scans age
+// out quickly.
+class UtilityWeightedPolicy : public EvictionPolicy {
+ public:
+  struct Options {
+    // How strongly early segments are favored; 0 reduces to pure
+    // popularity.
+    double prefix_bias = 0.25;
+    // Idle time that halves a segment's popularity inside the score.
+    SimTime popularity_half_life = 120 * kSecond;
+  };
+
+  UtilityWeightedPolicy() = default;
+  explicit UtilityWeightedPolicy(const Options& options)
+      : options_(options) {}
+
+  std::string_view name() const override { return "utility"; }
+  double Score(const SegmentMeta& segment, SimTime now) const override;
+
+ private:
+  Options options_;
+};
+
+/// Factory by name ("lru", "utility"); nullptr for unknown names.
+std::unique_ptr<EvictionPolicy> MakeEvictionPolicy(std::string_view name);
+
+}  // namespace quasaq::cache
+
+#endif  // QUASAQ_CACHE_EVICTION_H_

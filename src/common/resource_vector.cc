@@ -16,6 +16,8 @@ std::string_view ResourceKindName(ResourceKind kind) {
       return "disk";
     case ResourceKind::kMemory:
       return "mem";
+    case ResourceKind::kMemoryBandwidth:
+      return "membw";
   }
   return "unknown";
 }

@@ -23,11 +23,13 @@ enum class ResourceKind {
   kNetworkBandwidth,   // server outbound link, KB/s
   kDiskBandwidth,      // storage read bandwidth, KB/s
   kMemory,             // staging buffers, KB
+  kMemoryBandwidth,    // cache-served read bandwidth, KB/s
 };
 
-inline constexpr int kNumResourceKinds = 4;
+inline constexpr int kNumResourceKinds = 5;
 
-/// Returns a short stable name, e.g. "cpu", "net", "disk", "mem".
+/// Returns a short stable name, e.g. "cpu", "net", "disk", "mem",
+/// "membw".
 std::string_view ResourceKindName(ResourceKind kind);
 
 // Names one reservable resource instance: a kind at a site.

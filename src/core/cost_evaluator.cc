@@ -10,6 +10,14 @@ RuntimeCostEvaluator::RuntimeCostEvaluator(CostModel* model) : model_(model) {
   assert(model_ != nullptr);
 }
 
+double RuntimeCostEvaluator::EfficiencyCost(
+    const Plan& plan, const res::ResourcePool& pool) const {
+  double cost = model_->Cost(plan.resources, pool);
+  double gain = gain_ ? gain_(plan) : 1.0;
+  assert(gain > 0.0);
+  return cost / gain;
+}
+
 void RuntimeCostEvaluator::Rank(std::vector<Plan>& plans,
                                 const res::ResourcePool& pool) const {
   struct Key {
@@ -20,15 +28,12 @@ void RuntimeCostEvaluator::Rank(std::vector<Plan>& plans,
   std::vector<Key> keys;
   keys.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    double cost = model_->Cost(plans[i].resources, pool);
-    double gain = gain_ ? gain_(plans[i]) : 1.0;
-    assert(gain > 0.0);
     double demand = 0.0;
     for (const ResourceVector::Entry& e : plans[i].resources.entries()) {
       double capacity = pool.Capacity(e.bucket);
       if (capacity > 0.0) demand += e.amount / capacity;
     }
-    keys.push_back(Key{cost / gain, demand, i});
+    keys.push_back(Key{EfficiencyCost(plans[i], pool), demand, i});
   }
   std::vector<size_t> order(plans.size());
   std::iota(order.begin(), order.end(), 0);

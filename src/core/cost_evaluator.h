@@ -27,9 +27,18 @@ class RuntimeCostEvaluator {
 
   void set_gain_function(GainFunction gain) { gain_ = std::move(gain); }
 
+  /// The ranking key of one plan: C(r)/G under `pool`'s current usage.
+  /// Exposed so EXPLAIN paths and benchmarks cost plans exactly as the
+  /// ranking does. Note that for cache-served plan variants the C(r)
+  /// side already reflects the disk->memory-bandwidth resource swap
+  /// performed by FinalizePlan — no cache special-casing happens here.
+  double EfficiencyCost(const Plan& plan, const res::ResourcePool& pool) const;
+
   /// Sorts `plans` by ascending C(r)/G under `pool`'s current usage.
   /// Ties break toward the plan with the smaller total normalized
-  /// demand, then toward enumeration order (deterministic).
+  /// demand — which is what lets a cache-served variant overtake its
+  /// disk twin when neither resource is the LRB-hot bucket — then
+  /// toward enumeration order (deterministic).
   void Rank(std::vector<Plan>& plans, const res::ResourcePool& pool) const;
 
   CostModel& model() const { return *model_; }

@@ -1,6 +1,8 @@
 #include "core/plan.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 namespace quasaq::core {
 
@@ -20,6 +22,11 @@ std::string Plan::ToString() const {
     out += " ";
     out += media::EncryptionAlgorithmName(transform.encryption);
   }
+  if (IsCacheServed()) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), " cache(%.0f%%)", cache_fraction * 100.0);
+    out += buf;
+  }
   return out;
 }
 
@@ -27,6 +34,8 @@ void FinalizePlan(Plan& plan, const media::ReplicaInfo& replica,
                   const PlanCostConstants& constants) {
   assert(replica.id == plan.replica_oid);
   assert(replica.site == plan.source_site);
+
+  assert(plan.cache_fraction >= 0.0 && plan.cache_fraction <= 1.0);
 
   plan.delivered_qos = net::StreamDeliveredQos(replica, plan.transform);
   plan.wire_rate_kbps = net::StreamWireRateKbps(replica, plan.transform);
@@ -38,11 +47,26 @@ void FinalizePlan(Plan& plan, const media::ReplicaInfo& replica,
   if (plan.transform.transcode_target.has_value()) {
     plan.startup_seconds += constants.startup_transcode_seconds;
   }
+  if (plan.IsCacheServed()) {
+    plan.startup_seconds = std::max(
+        plan.startup_seconds -
+            constants.startup_cache_seconds * plan.cache_fraction,
+        0.0);
+  }
 
   ResourceVector resources;
-  // Retrieval: sequential disk read at the stored bitrate.
-  resources.Add({plan.source_site, ResourceKind::kDiskBandwidth},
-                replica.bitrate_kbps);
+  // Retrieval: sequential disk read at the stored bitrate, minus the
+  // share served from the source site's segment cache — those bytes are
+  // charged to the memory-bandwidth bucket instead.
+  double disk_kbps = replica.bitrate_kbps * (1.0 - plan.cache_fraction);
+  if (disk_kbps > 0.0) {
+    resources.Add({plan.source_site, ResourceKind::kDiskBandwidth},
+                  disk_kbps);
+  }
+  if (plan.IsCacheServed()) {
+    resources.Add({plan.source_site, ResourceKind::kMemoryBandwidth},
+                  replica.bitrate_kbps * plan.cache_fraction);
+  }
 
   if (plan.IsRelayed()) {
     // Server-to-server transfer of the stored stream: outbound bandwidth

@@ -31,6 +31,12 @@ struct Plan {
   SiteId delivery_site;
   // A3–A5.
   net::StreamTransform transform;
+  // Fraction of the replica's bytes retrieved from the source site's
+  // in-memory segment cache instead of disk (src/cache/). Plan variants
+  // with a positive fraction swap that share of disk bandwidth for the
+  // (far larger) memory-bandwidth bucket, so the cost evaluator ranks
+  // them ahead of disk-bound plans whenever the disk is the hot bucket.
+  double cache_fraction = 0.0;
 
   // --- Derived by FinalizePlan ---------------------------------------
   // Quality the client observes (after transcode and frame dropping).
@@ -44,6 +50,7 @@ struct Plan {
   ResourceVector resources;
 
   bool IsRelayed() const { return source_site != delivery_site; }
+  bool IsCacheServed() const { return cache_fraction > 0.0; }
 
   /// Renders e.g. "oid7@site1 ->site0 half-B transcode(352x288/...) enc2".
   std::string ToString() const;
@@ -63,6 +70,9 @@ struct PlanCostConstants {
   double startup_base_seconds = 0.5;
   double startup_relay_seconds = 0.3;
   double startup_transcode_seconds = 1.0;
+  // Startup saved by a fully cache-served retrieval (no disk seek /
+  // read-ahead before the first frame); scaled by the cache fraction.
+  double startup_cache_seconds = 0.2;
 };
 
 /// Fills the derived fields of `plan` (delivered_qos, wire_rate_kbps,

@@ -49,6 +49,9 @@ Result<std::unique_ptr<RunningDelivery>> PlanExecutor::Execute(
                                   options_.relay_hop_latency);
     if (!status.ok()) return status;
   }
+  if (cache_ != nullptr) {
+    cache_->OnStream(plan.source_site, replica, simulator_->Now());
+  }
   session->Start(std::move(on_finished));
   return std::make_unique<RunningDelivery>(std::move(session), plan);
 }

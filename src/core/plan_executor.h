@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "cache/cache_manager.h"
 #include "core/quality_manager.h"
 #include "net/rtp.h"
 #include "resource/cpu_scheduler.h"
@@ -60,9 +61,16 @@ class PlanExecutor {
   /// The reservation scheduler of `site` (created on first use).
   res::ReservationCpuScheduler& SchedulerFor(SiteId site);
 
+  /// Attaches the per-site segment caches (non-owning; nullptr
+  /// detaches). Executed plans then stream their replica through the
+  /// source site's cache at start time, mirroring the session-level
+  /// delivery path in core/system.h.
+  void set_cache(cache::CacheManager* cache) { cache_ = cache; }
+
  private:
   sim::Simulator* simulator_;
   Options options_;
+  cache::CacheManager* cache_ = nullptr;
   std::unordered_map<SiteId, std::unique_ptr<res::ReservationCpuScheduler>>
       schedulers_;
 };

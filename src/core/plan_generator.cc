@@ -62,6 +62,14 @@ Result<std::vector<Plan>> PlanGenerator::Generate(
 
   std::vector<Plan> plans;
   for (const media::ReplicaInfo& replica : replicas) {
+    // Cache warmth of this replica at its source site: a positive
+    // fraction yields a cache-served variant of every plan below.
+    double cache_fraction = 0.0;
+    if (cache_view_ != nullptr && options_.enable_cache_plans) {
+      cache_fraction = cache_view_->CachedFraction(replica.site, replica);
+      if (cache_fraction < options_.min_cache_fraction) cache_fraction = 0.0;
+    }
+
     // A4 candidates for this replica: stay at stored quality, or any
     // target the source quality can be down-converted to.
     std::vector<std::optional<media::AppQos>> targets = {std::nullopt};
@@ -101,6 +109,14 @@ Result<std::vector<Plan>> PlanGenerator::Generate(
                 qos.max_startup_seconds > 0.0 &&
                 plan.startup_seconds > qos.max_startup_seconds) {
               continue;
+            }
+            if (cache_fraction > 0.0) {
+              // The delivered quality is unchanged and startup only
+              // improves, so the variant passes the same static rules.
+              Plan cached = plan;
+              cached.cache_fraction = cache_fraction;
+              FinalizePlan(cached, replica, options_.constants);
+              plans.push_back(std::move(cached));
             }
             plans.push_back(std::move(plan));
           }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "cache/cache_manager.h"
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -38,6 +39,14 @@ class PlanGenerator {
     bool apply_static_pruning = true;
     // Candidate transcode targets (defaults to the standard ladder).
     std::vector<media::AppQos> transcode_targets;
+    // Cache-served plan variants (requires a cache view, see below):
+    // when a replica's source site has at least `min_cache_fraction` of
+    // the object resident in its segment cache, every plan for that
+    // replica is additionally emitted as a cache-served variant whose
+    // resource vector swaps that share of disk bandwidth for memory
+    // bandwidth.
+    bool enable_cache_plans = true;
+    double min_cache_fraction = 0.05;
     PlanCostConstants constants;
   };
 
@@ -56,6 +65,12 @@ class PlanGenerator {
 
   const Options& options() const { return options_; }
 
+  /// Attaches the cache state consulted for cache-served plan variants
+  /// (nullptr detaches; the view must outlive the generator). Lookups
+  /// happen at generation time, so each query sees current warmth.
+  void set_cache_view(const cache::CacheView* view) { cache_view_ = view; }
+  const cache::CacheView* cache_view() const { return cache_view_; }
+
  private:
   std::vector<media::EncryptionAlgorithm> EncryptionChoices(
       const query::QosRequirement& qos) const;
@@ -63,6 +78,7 @@ class PlanGenerator {
   meta::DistributedMetadataEngine* metadata_;
   std::vector<SiteId> sites_;
   Options options_;
+  const cache::CacheView* cache_view_ = nullptr;
 };
 
 }  // namespace quasaq::core

@@ -37,6 +37,8 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
                         server.disk_kbps);
     pool_.DeclareBucket({server.id, ResourceKind::kMemory},
                         server.memory_kb);
+    pool_.DeclareBucket({server.id, ResourceKind::kMemoryBandwidth},
+                        server.memory_bandwidth_kbps);
   }
 
   // Metadata: contents, replicas and sampled QoS profiles.
@@ -85,8 +87,16 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
         }
       }
     }
+    if (options_.cache.enabled) {
+      quality.generator.min_cache_fraction = options_.cache.min_plan_fraction;
+    }
     quality_manager_ = std::make_unique<QualityManager>(
         metadata_.get(), &qos_api_, cost_model_.get(), sites, quality);
+    if (options_.cache.enabled) {
+      cache_manager_ = std::make_unique<cache::CacheManager>(
+          sites, options_.cache.manager);
+      quality_manager_->generator().set_cache_view(cache_manager_.get());
+    }
 
     if (options_.replication.enabled) {
       int64_t max_oid = 0;
@@ -95,8 +105,14 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
         storage::StorageManager::Options store_options;
         store_options.disk_bandwidth_kbps = server.disk_kbps;
         store_options.capacity_kb = options_.replication.storage_capacity_kb;
+        if (cache_manager_ != nullptr) {
+          store_options.segment_layout = options_.cache.manager.layout;
+        }
         storage_.push_back(std::make_unique<storage::StorageManager>(
             server.id, store_options));
+        if (cache_manager_ != nullptr) {
+          storage_.back()->AttachCache(cache_manager_->at(server.id));
+        }
         raw_stores.push_back(storage_.back().get());
       }
       for (const media::ReplicaInfo& replica : library_.replicas) {
@@ -109,6 +125,9 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
           simulator_, metadata_.get(), std::move(raw_stores),
           media::QualityLadder::Standard(), max_oid + 1,
           options_.replication.manager);
+      if (cache_manager_ != nullptr) {
+        replication_manager_->set_cache(cache_manager_.get());
+      }
       replication_manager_->Start();
     }
   }
@@ -257,6 +276,18 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
   // up through metadata so dynamically created replicas work too.
   auto content_info = metadata_->FindContent(site, content);
   assert(content_info.has_value());
+  if (cache_manager_ != nullptr) {
+    // Stream the replica through its source site's cache: hits are
+    // served from memory, misses warm the cache for later sessions.
+    for (const media::ReplicaInfo& replica :
+         metadata_->ReplicasOf(site, content)) {
+      if (replica.id == admitted->plan.replica_oid) {
+        cache_manager_->OnStream(admitted->plan.source_site, replica,
+                                 simulator_->Now());
+        break;
+      }
+    }
+  }
   SessionRecord record;
   record.content = content;
   record.site = admitted->plan.delivery_site;
@@ -423,6 +454,9 @@ std::string MediaDbSystem::ReportString() const {
                   static_cast<unsigned long long>(repl.created),
                   static_cast<unsigned long long>(repl.dropped));
     out += buf;
+  }
+  if (cache_manager_ != nullptr) {
+    out += "\n" + cache_manager_->ReportString();
   }
   return out;
 }

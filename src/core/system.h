@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/cache_manager.h"
 #include "common/ids.h"
 #include "common/status.h"
 #include "core/cost_model.h"
@@ -82,6 +83,20 @@ class MediaDbSystem {
       double storage_capacity_kb = 0.0;
     };
     DynamicReplication replication;
+
+    // Per-site segment caching (QuaSAQ only). When enabled each site
+    // gets a SegmentCache; admitted sessions stream their replica
+    // through the source site's cache, and the Plan Generator emits
+    // cache-served plan variants that swap the cached share of disk
+    // bandwidth for memory bandwidth.
+    struct Cache {
+      bool enabled = false;
+      cache::CacheManager::Options manager;
+      // Minimum cached fraction for a cache-served plan variant to be
+      // worth emitting.
+      double min_plan_fraction = 0.05;
+    };
+    Cache cache;
   };
 
   struct DeliveryOutcome {
@@ -193,6 +208,8 @@ class MediaDbSystem {
   }
   /// The storage manager of `site`; non-null only with replication on.
   storage::StorageManager* storage_at(SiteId site);
+  /// Non-null only when segment caching is enabled (QuaSAQ only).
+  cache::CacheManager* cache_manager() { return cache_manager_.get(); }
 
  private:
   struct SessionRecord {
@@ -235,6 +252,7 @@ class MediaDbSystem {
   std::unique_ptr<QualityManager> quality_manager_;
   std::vector<std::unique_ptr<storage::StorageManager>> storage_;
   std::unique_ptr<repl::ReplicationManager> replication_manager_;
+  std::unique_ptr<cache::CacheManager> cache_manager_;
 
   int64_t next_session_ = 1;
   int outstanding_ = 0;

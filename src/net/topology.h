@@ -24,6 +24,9 @@ struct ServerSpec {
   double outbound_kbps = 3200.0;   // total streaming bandwidth
   double disk_kbps = 20000.0;      // sequential read bandwidth
   double memory_kb = 1024.0 * 1024.0;  // staging-buffer budget
+  // Read bandwidth of the in-memory segment cache; far above the disk,
+  // so cache-served plans relieve the disk bucket (src/cache/).
+  double memory_bandwidth_kbps = 200000.0;
 };
 
 // Static description of the whole deployment.

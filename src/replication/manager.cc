@@ -62,9 +62,13 @@ PlacementSnapshot ReplicationManager::BuildSnapshot() {
          metadata_->ReplicasOf(owner, content)) {
       for (size_t level = 0; level < ladder_.levels.size(); ++level) {
         if (replica.qos == ladder_.levels[level]) {
+          double warmth =
+              cache_ != nullptr
+                  ? cache_->CachedFraction(replica.site, replica)
+                  : 0.0;
           snapshot.replicas.push_back(PlacementEntry{
               replica.id, content, static_cast<int>(level), replica.site,
-              replica.size_kb});
+              replica.size_kb, warmth});
           break;
         }
       }
@@ -116,6 +120,7 @@ void ReplicationManager::ExecuteDrop(const ReplicationAction& action) {
       break;
     }
   }
+  if (cache_ != nullptr) cache_->EraseReplica(action.victim);
   Status status = metadata_->EraseReplica(action.victim);
   if (status.ok()) {
     ++stats_.dropped;

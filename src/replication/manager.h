@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/cache_manager.h"
 #include "common/ids.h"
 #include "media/library.h"
 #include "metadata/distributed_engine.h"
@@ -63,6 +64,12 @@ class ReplicationManager {
   const Stats& stats() const { return stats_; }
   const AccessTracker& tracker() const { return tracker_; }
 
+  /// Attaches the per-site segment caches (non-owning; nullptr
+  /// detaches). Snapshots then carry each replica's cache warmth into
+  /// the eviction ranking, and dropping a replica invalidates its
+  /// cached segments everywhere.
+  void set_cache(cache::CacheManager* cache) { cache_ = cache; }
+
  private:
   PlacementSnapshot BuildSnapshot();
   void ExecuteCreate(const ReplicationAction& action);
@@ -74,6 +81,7 @@ class ReplicationManager {
   std::vector<storage::StorageManager*> stores_;
   media::QualityLadder ladder_;
   Options options_;
+  cache::CacheManager* cache_ = nullptr;
   AccessTracker tracker_;
   int64_t next_oid_;
   Stats stats_;

@@ -151,8 +151,18 @@ std::vector<ReplicationAction> PlanReplicationActions(
           std::sort(candidates.begin(), candidates.end(),
                     [&snapshot](const PlacementEntry* a,
                                 const PlacementEntry* b) {
-                      return DemandOf(snapshot, a->content, a->ladder_level) <
-                             DemandOf(snapshot, b->content, b->ladder_level);
+                      double da =
+                          DemandOf(snapshot, a->content, a->ladder_level);
+                      double db =
+                          DemandOf(snapshot, b->content, b->ladder_level);
+                      if (da != db) return da < db;
+                      // Equal demand: a drop invalidates the victim's
+                      // cached segments, so sacrifice the cache-cold
+                      // replica and keep the warm one's hit ratio.
+                      if (a->cache_warmth != b->cache_warmth) {
+                        return a->cache_warmth < b->cache_warmth;
+                      }
+                      return a->oid.value() < b->oid.value();
                     });
           for (const PlacementEntry* victim : candidates) {
             if (site_free >= replica_kb) break;

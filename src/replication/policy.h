@@ -22,6 +22,11 @@ struct PlacementEntry {
   int ladder_level = 0;
   SiteId site;
   double size_kb = 0.0;
+  // Fraction of the replica resident in its site's segment cache
+  // ([0, 1]; 0 when the site has no cache). Dropping a replica also
+  // invalidates its cached segments, so at equal demand the policy
+  // evicts cache-cold replicas first.
+  double cache_warmth = 0.0;
 };
 
 // Everything the policy may look at.

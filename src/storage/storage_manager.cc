@@ -1,5 +1,10 @@
 #include "storage/storage_manager.h"
 
+#include <algorithm>
+#include <cmath>
+
+#include "cache/segment.h"
+
 namespace quasaq::storage {
 
 StorageManager::StorageManager(SiteId site, const Options& options)
@@ -10,7 +15,7 @@ StorageManager::StorageManager(SiteId site, const Options& options)
 
 Result<SimTime> StorageManager::ReadObjectPages(PhysicalOid id,
                                                 int64_t first_page,
-                                                int pages) {
+                                                int pages, SimTime now) {
   const media::ReplicaInfo* replica = store_.Get(id);
   if (replica == nullptr) {
     return Status::NotFound("object not stored at this site");
@@ -22,6 +27,29 @@ Result<SimTime> StorageManager::ReadObjectPages(PhysicalOid id,
       replica->size_kb / disk_.page_kb() + 1.0);
   if (first_page + pages > total_pages) {
     return Status::InvalidArgument("page range beyond object end");
+  }
+  if (cache_ != nullptr) {
+    // Map the page range onto GOP-aligned segments and probe each one.
+    // All hits -> memory-speed read, any miss -> disk path (the misses
+    // are filled so a re-read of the same range becomes memory-served).
+    cache::SegmentLayout layout =
+        cache::SegmentLayout::For(*replica, options_.segment_layout);
+    double begin_kb = static_cast<double>(first_page) * disk_.page_kb();
+    double end_kb = static_cast<double>(first_page + pages) * disk_.page_kb();
+    int first_seg = layout.SegmentAtOffsetKb(begin_kb);
+    int last_seg = layout.SegmentAtOffsetKb(
+        std::min(end_kb, layout.total_kb()) - 1e-9);
+    last_seg = std::max(last_seg, first_seg);
+    bool all_hits = true;
+    for (int seg = first_seg; seg <= last_seg; ++seg) {
+      bool hit = cache_->Access(cache::SegmentKey{id, seg},
+                                layout.SegmentKb(seg), now);
+      all_hits = all_hits && hit;
+    }
+    if (all_hits && options_.memory_read_kbps > 0.0) {
+      double kb = static_cast<double>(pages) * disk_.page_kb();
+      return SecondsToSimTime(kb / options_.memory_read_kbps);
+    }
   }
   // Flatten (object, page) into the pool's global key space. 16M pages
   // per object (128 GB at 8 KB pages) is far beyond any media object.

@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "cache/segment_cache.h"
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -13,6 +14,9 @@
 // Streaming a replica continuously reads it from disk at its bitrate;
 // the manager tracks how much sequential read bandwidth is committed so
 // that admission control can treat disk bandwidth as a resource bucket.
+// When a segment cache is attached, block reads that fall entirely
+// inside cached segments are served from memory instead of the disk
+// path (and misses warm the cache through its eviction policy).
 
 namespace quasaq::storage {
 
@@ -28,6 +32,10 @@ class StorageManager {
     double capacity_kb = 0.0;
     // Buffer pool size in pages (DiskModel::Options::page_kb each).
     size_t buffer_pool_pages = 4096;
+    // Read bandwidth of the attached segment cache, KB/s (the simulated
+    // latency of cache-served block reads).
+    double memory_read_kbps = 200000.0;
+    cache::SegmentLayout::Options segment_layout;
     DiskModel::Options disk;
   };
 
@@ -52,11 +60,19 @@ class StorageManager {
   void ReleaseRead(double kbps);
 
   /// Block-level read of `pages` pages of object `id` starting at page
-  /// `first_page`, through the buffer pool. Returns the simulated I/O
-  /// latency. Fails with kNotFound for objects not stored here and
-  /// kInvalidArgument for out-of-range pages.
+  /// `first_page`. When the whole range lies in cached segments it is
+  /// served from memory at `memory_read_kbps`; otherwise it goes through
+  /// the buffer pool and the touched segments are filled into the cache.
+  /// Returns the simulated I/O latency (`now` feeds the cache's
+  /// recency/popularity state). Fails with kNotFound for objects not
+  /// stored here and kInvalidArgument for out-of-range pages.
   Result<SimTime> ReadObjectPages(PhysicalOid id, int64_t first_page,
-                                  int pages);
+                                  int pages, SimTime now = 0);
+
+  /// Attaches the site's segment cache (non-owning; may be nullptr to
+  /// detach). The cache must outlive the manager.
+  void AttachCache(cache::SegmentCache* cache) { cache_ = cache; }
+  cache::SegmentCache* cache() { return cache_; }
 
   const BufferPool& buffer_pool() const { return buffer_pool_; }
   const DiskModel& disk_model() const { return disk_; }
@@ -66,6 +82,7 @@ class StorageManager {
   ObjectStore store_;
   DiskModel disk_;
   BufferPool buffer_pool_;
+  cache::SegmentCache* cache_ = nullptr;
   double committed_read_kbps_ = 0.0;
 };
 

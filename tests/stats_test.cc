@@ -91,6 +91,45 @@ TEST(TimeSeriesTest, MeanOverWindow) {
   EXPECT_DOUBLE_EQ(series.MeanOver(3 * kSecond, 4 * kSecond), 0.0);
 }
 
+TEST(TimeSeriesTest, MeanOverEmptySeriesIsZero) {
+  TimeSeries series;
+  EXPECT_TRUE(series.empty());
+  EXPECT_DOUBLE_EQ(series.MeanOver(0, 10 * kSecond), 0.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(5 * kSecond), 0.0);
+}
+
+TEST(TimeSeriesTest, MeanOverInvertedWindowIsZero) {
+  TimeSeries series;
+  series.Add(kSecond, 10.0);
+  series.Add(2 * kSecond, 20.0);
+  EXPECT_DOUBLE_EQ(series.MeanOver(2 * kSecond, kSecond), 0.0);
+}
+
+TEST(TimeSeriesTest, MeanOverIncludesBothClosedBoundaries) {
+  TimeSeries series;
+  series.Add(kSecond, 10.0);
+  series.Add(2 * kSecond, 20.0);
+  series.Add(3 * kSecond, 30.0);
+  // [from, to] is closed: samples exactly at either boundary count.
+  EXPECT_DOUBLE_EQ(series.MeanOver(kSecond, 3 * kSecond), 20.0);
+  EXPECT_DOUBLE_EQ(series.MeanOver(2 * kSecond, 2 * kSecond), 20.0);
+  // Just inside the boundaries excludes the edge samples.
+  EXPECT_DOUBLE_EQ(
+      series.MeanOver(kSecond + kMicrosecond, 3 * kSecond - kMicrosecond),
+      20.0);
+  EXPECT_DOUBLE_EQ(series.MeanOver(0, kSecond), 10.0);
+}
+
+TEST(TimeSeriesTest, ValueAtExactSampleTime) {
+  TimeSeries series;
+  series.Add(kSecond, 1.0);
+  series.Add(3 * kSecond, 3.0);
+  // A sample exactly at the query time is "at or before" — returned.
+  EXPECT_DOUBLE_EQ(series.ValueAt(3 * kSecond), 3.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(3 * kSecond - kMicrosecond), 1.0);
+  EXPECT_DOUBLE_EQ(series.ValueAt(kSecond - kMicrosecond), 0.0);
+}
+
 TEST(TimeSeriesTest, ValueAtReturnsLatestSampleNotAfter) {
   TimeSeries series;
   series.Add(kSecond, 1.0);
