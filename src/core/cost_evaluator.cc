@@ -18,6 +18,20 @@ double RuntimeCostEvaluator::EfficiencyCost(
   return cost / gain;
 }
 
+double RuntimeCostEvaluator::NormalizedDemand(const Plan& plan,
+                                              const res::ResourcePool& pool) {
+  double demand = 0.0;
+  for (const ResourceVector::Entry& e : plan.resources.entries()) {
+    double capacity = pool.Capacity(e.bucket);
+    if (capacity > 0.0) demand += e.amount / capacity;
+  }
+  return demand;
+}
+
+bool RuntimeCostEvaluator::SupportsCostLowerBound() const {
+  return !gain_ && model_->name() == "LRB";
+}
+
 void RuntimeCostEvaluator::Rank(std::vector<Plan>& plans,
                                 const res::ResourcePool& pool) const {
   struct Key {
@@ -28,12 +42,8 @@ void RuntimeCostEvaluator::Rank(std::vector<Plan>& plans,
   std::vector<Key> keys;
   keys.reserve(plans.size());
   for (size_t i = 0; i < plans.size(); ++i) {
-    double demand = 0.0;
-    for (const ResourceVector::Entry& e : plans[i].resources.entries()) {
-      double capacity = pool.Capacity(e.bucket);
-      if (capacity > 0.0) demand += e.amount / capacity;
-    }
-    keys.push_back(Key{EfficiencyCost(plans[i], pool), demand, i});
+    keys.push_back(Key{EfficiencyCost(plans[i], pool),
+                       NormalizedDemand(plans[i], pool), i});
   }
   std::vector<size_t> order(plans.size());
   std::iota(order.begin(), order.end(), 0);

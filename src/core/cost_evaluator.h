@@ -34,6 +34,19 @@ class RuntimeCostEvaluator {
   /// performed by FinalizePlan — no cache special-casing happens here.
   double EfficiencyCost(const Plan& plan, const res::ResourcePool& pool) const;
 
+  /// The first tie-break of Rank(): the plan's total normalized demand
+  /// (sum of amount/capacity over the buckets it touches). Exposed so
+  /// PlanStream breaks ties exactly as the eager ranking does.
+  static double NormalizedDemand(const Plan& plan,
+                                 const res::ResourcePool& pool);
+
+  /// True when EfficiencyCost can be lower-bounded from a partial
+  /// resource vector: the pure LRB model with no gain function. Any
+  /// gain reshapes the key per plan and the other models are either
+  /// stateful (Random) or not monotone maxima, so PlanStream falls back
+  /// to exhaustive (but still lazily ordered) search for them.
+  bool SupportsCostLowerBound() const;
+
   /// Sorts `plans` by ascending C(r)/G under `pool`'s current usage.
   /// Ties break toward the plan with the smaller total normalized
   /// demand — which is what lets a cache-served variant overtake its

@@ -26,10 +26,8 @@ res::ReservationCpuScheduler& PlanExecutor::SchedulerFor(SiteId site) {
 }
 
 Result<std::unique_ptr<RunningDelivery>> PlanExecutor::Execute(
-    const QualityManager::Admitted& admitted,
-    const media::ReplicaInfo& replica,
+    const Plan& plan, const media::ReplicaInfo& replica,
     net::RtpStreamingSession::FinishedCallback on_finished) {
-  const Plan& plan = admitted.plan;
   if (replica.id != plan.replica_oid) {
     return Status::InvalidArgument("replica does not match the plan");
   }

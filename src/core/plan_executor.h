@@ -50,13 +50,22 @@ class PlanExecutor {
   /// created per delivery site on demand.
   PlanExecutor(sim::Simulator* simulator, const Options& options);
 
-  /// Starts executing an admitted plan streaming `replica` (must match
-  /// the plan's replica OID). Fails with kResourceExhausted when the
-  /// delivery site's CPU cannot take the stream's reservation.
+  /// Starts executing `plan` streaming `replica` (must match the plan's
+  /// replica OID). Fails with kResourceExhausted when the delivery
+  /// site's CPU cannot take the stream's reservation. The executor only
+  /// needs the plan itself — admission bookkeeping (reservation handle,
+  /// renegotiation flag) stays in the layers above.
+  Result<std::unique_ptr<RunningDelivery>> Execute(
+      const Plan& plan, const media::ReplicaInfo& replica,
+      net::RtpStreamingSession::FinishedCallback on_finished = nullptr);
+
+  /// Convenience overload for QualityManager admission results.
   Result<std::unique_ptr<RunningDelivery>> Execute(
       const QualityManager::Admitted& admitted,
       const media::ReplicaInfo& replica,
-      net::RtpStreamingSession::FinishedCallback on_finished = nullptr);
+      net::RtpStreamingSession::FinishedCallback on_finished = nullptr) {
+    return Execute(admitted.plan, replica, std::move(on_finished));
+  }
 
   /// The reservation scheduler of `site` (created on first use).
   res::ReservationCpuScheduler& SchedulerFor(SiteId site);

@@ -40,15 +40,39 @@ std::vector<media::EncryptionAlgorithm> PlanGenerator::EncryptionChoices(
   return choices;
 }
 
-Result<std::vector<Plan>> PlanGenerator::Generate(
-    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
-    SimTime* metadata_latency) {
+Result<std::vector<PlanGenerator::GroupSeed>> PlanGenerator::EnumerateGroups(
+    SiteId query_site, LogicalOid content, SimTime* metadata_latency) const {
   std::vector<media::ReplicaInfo> replicas =
       metadata_->ReplicasOf(query_site, content, metadata_latency);
   if (replicas.empty()) {
     return Status::NotFound("no replicas registered for logical OID " +
                             std::to_string(content.value()));
   }
+  std::vector<GroupSeed> groups;
+  for (media::ReplicaInfo& replica : replicas) {
+    // Cache warmth of this replica at its source site: a positive
+    // fraction yields a cache-served twin of every plan in the group.
+    double cache_fraction = 0.0;
+    if (cache_view_ != nullptr && options_.enable_cache_plans) {
+      cache_fraction = cache_view_->CachedFraction(replica.site, replica);
+      if (cache_fraction < options_.min_cache_fraction) cache_fraction = 0.0;
+    }
+    for (SiteId delivery : sites_) {
+      if (!options_.enable_relay && delivery != replica.site) continue;
+      GroupSeed seed;
+      seed.replica = replica;
+      seed.delivery_site = delivery;
+      seed.cache_fraction = cache_fraction;
+      groups.push_back(std::move(seed));
+    }
+  }
+  return groups;
+}
+
+void PlanGenerator::ExpandGroup(const GroupSeed& seed,
+                                const query::QosRequirement& qos,
+                                std::vector<Plan>& out) const {
+  const media::ReplicaInfo& replica = seed.replica;
 
   std::vector<media::FrameDropStrategy> drops = {
       media::FrameDropStrategy::kNone};
@@ -60,69 +84,96 @@ Result<std::vector<Plan>> PlanGenerator::Generate(
   std::vector<media::EncryptionAlgorithm> encryptions =
       EncryptionChoices(qos);
 
-  std::vector<Plan> plans;
-  for (const media::ReplicaInfo& replica : replicas) {
-    // Cache warmth of this replica at its source site: a positive
-    // fraction yields a cache-served variant of every plan below.
-    double cache_fraction = 0.0;
-    if (cache_view_ != nullptr && options_.enable_cache_plans) {
-      cache_fraction = cache_view_->CachedFraction(replica.site, replica);
-      if (cache_fraction < options_.min_cache_fraction) cache_fraction = 0.0;
+  // A4 candidates for this replica: stay at stored quality, or any
+  // target the source quality can be down-converted to.
+  std::vector<std::optional<media::AppQos>> targets = {std::nullopt};
+  if (options_.enable_transcoding) {
+    for (const media::AppQos& target : options_.transcode_targets) {
+      if (options_.apply_static_pruning &&
+          !media::TranscodeAllowed(replica.qos, target)) {
+        continue;
+      }
+      if (!options_.apply_static_pruning && target == replica.qos) {
+        continue;  // identity transcode is meaningless in any mode
+      }
+      targets.push_back(target);
     }
+  }
 
-    // A4 candidates for this replica: stay at stored quality, or any
-    // target the source quality can be down-converted to.
-    std::vector<std::optional<media::AppQos>> targets = {std::nullopt};
-    if (options_.enable_transcoding) {
-      for (const media::AppQos& target : options_.transcode_targets) {
+  for (const std::optional<media::AppQos>& target : targets) {
+    for (media::FrameDropStrategy drop : drops) {
+      for (media::EncryptionAlgorithm encryption : encryptions) {
+        Plan plan;
+        plan.replica_oid = replica.id;
+        plan.source_site = replica.site;
+        plan.delivery_site = seed.delivery_site;
+        plan.transform.transcode_target = target;
+        plan.transform.drop = drop;
+        plan.transform.encryption = encryption;
+        FinalizePlan(plan, replica, options_.constants);
         if (options_.apply_static_pruning &&
-            !media::TranscodeAllowed(replica.qos, target)) {
+            !qos.SatisfiedBy(plan.delivered_qos,
+                             plan.transform.encryption)) {
           continue;
         }
-        if (!options_.apply_static_pruning && target == replica.qos) {
-          continue;  // identity transcode is meaningless in any mode
+        // Time Guarantee: drop plans that cannot start in time.
+        if (options_.apply_static_pruning &&
+            qos.max_startup_seconds > 0.0 &&
+            plan.startup_seconds > qos.max_startup_seconds) {
+          continue;
         }
-        targets.push_back(target);
+        if (seed.cache_fraction > 0.0) {
+          // The delivered quality is unchanged and startup only
+          // improves, so the variant passes the same static rules.
+          Plan cached = plan;
+          cached.cache_fraction = seed.cache_fraction;
+          FinalizePlan(cached, replica, options_.constants);
+          out.push_back(std::move(cached));
+        }
+        out.push_back(std::move(plan));
       }
     }
+  }
+}
 
-    for (SiteId delivery : sites_) {
-      if (!options_.enable_relay && delivery != replica.site) continue;
-      for (const std::optional<media::AppQos>& target : targets) {
-        for (media::FrameDropStrategy drop : drops) {
-          for (media::EncryptionAlgorithm encryption : encryptions) {
-            Plan plan;
-            plan.replica_oid = replica.id;
-            plan.source_site = replica.site;
-            plan.delivery_site = delivery;
-            plan.transform.transcode_target = target;
-            plan.transform.drop = drop;
-            plan.transform.encryption = encryption;
-            FinalizePlan(plan, replica, options_.constants);
-            if (options_.apply_static_pruning &&
-                !qos.SatisfiedBy(plan.delivered_qos,
-                                 plan.transform.encryption)) {
-              continue;
-            }
-            // Time Guarantee: drop plans that cannot start in time.
-            if (options_.apply_static_pruning &&
-                qos.max_startup_seconds > 0.0 &&
-                plan.startup_seconds > qos.max_startup_seconds) {
-              continue;
-            }
-            if (cache_fraction > 0.0) {
-              // The delivered quality is unchanged and startup only
-              // improves, so the variant passes the same static rules.
-              Plan cached = plan;
-              cached.cache_fraction = cache_fraction;
-              FinalizePlan(cached, replica, options_.constants);
-              plans.push_back(std::move(cached));
-            }
-            plans.push_back(std::move(plan));
-          }
-        }
-      }
-    }
+ResourceVector PlanGenerator::RetrievalTransferDemand(
+    const GroupSeed& seed) const {
+  const media::ReplicaInfo& replica = seed.replica;
+  ResourceVector demand;
+  // Retrieval floor: when the group carries cache-served twins, the
+  // cached variant reads only (1 - fraction) of the bytes from disk —
+  // the component-wise minimum over both twins, so the bound stays
+  // admissible for either. (The cached twin's memory-bandwidth share is
+  // zero on the disk twin, so it cannot be part of the floor.)
+  double disk_kbps = replica.bitrate_kbps * (1.0 - seed.cache_fraction);
+  if (disk_kbps > 0.0) {
+    demand.Add({replica.site, ResourceKind::kDiskBandwidth}, disk_kbps);
+  }
+  if (seed.delivery_site != replica.site) {
+    // Server-to-server transfer of the stored stream, exactly as
+    // FinalizePlan charges it for every relayed plan.
+    demand.Add({replica.site, ResourceKind::kNetworkBandwidth},
+               replica.bitrate_kbps);
+    net::StreamTransform plain;
+    double forward_cpu = net::StreamCpuFraction(replica, plain,
+                                                options_.constants
+                                                    .streaming_cost) *
+                         options_.constants.relay_cpu_factor;
+    demand.Add({replica.site, ResourceKind::kCpu}, forward_cpu);
+    demand.Add({seed.delivery_site, ResourceKind::kCpu}, forward_cpu);
+  }
+  return demand;
+}
+
+Result<std::vector<Plan>> PlanGenerator::Generate(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    SimTime* metadata_latency) {
+  Result<std::vector<GroupSeed>> groups =
+      EnumerateGroups(query_site, content, metadata_latency);
+  if (!groups.ok()) return groups.status();
+  std::vector<Plan> plans;
+  for (const GroupSeed& seed : *groups) {
+    ExpandGroup(seed, qos, plans);
   }
   return plans;
 }

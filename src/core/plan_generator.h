@@ -23,6 +23,13 @@
 // (up-transcoding, out-of-range delivered quality) and obvious
 // performance pitfalls (encrypting when no security is requested —
 // encryption always follows dropping by construction).
+//
+// The enumeration is factored into two stages so core/plan_stream.h can
+// search the space lazily: EnumerateGroups fixes the (A1, A2) prefix —
+// one GroupSeed per (replica, delivery site) pair — and ExpandGroup
+// materializes the activity combinations (A3–A5) of one group. The
+// eager Generate() is the composition of the two and remains available
+// for the ablation benches.
 
 namespace quasaq::core {
 
@@ -37,6 +44,11 @@ class PlanGenerator {
     // are skipped (the raw combinatorial space; ablation only — such
     // plans must not be executed).
     bool apply_static_pruning = true;
+    // When true the Quality Manager searches the plan space lazily
+    // through a best-first PlanStream (core/plan_stream.h) instead of
+    // materializing and ranking every plan. The ranking order is
+    // identical either way; set to false to benchmark the eager path.
+    bool lazy_enumeration = true;
     // Candidate transcode targets (defaults to the standard ladder).
     std::vector<media::AppQos> transcode_targets;
     // Cache-served plan variants (requires a cache view, see below):
@@ -48,6 +60,18 @@ class PlanGenerator {
     bool enable_cache_plans = true;
     double min_cache_fraction = 0.05;
     PlanCostConstants constants;
+  };
+
+  // One (A1, A2) prefix of the enumeration: the physical replica and the
+  // delivery site are fixed, the activity choices (A3–A5) are still
+  // open. Groups are ordered replica-major / delivery-site-minor, which
+  // is exactly the eager enumeration order.
+  struct GroupSeed {
+    media::ReplicaInfo replica;
+    SiteId delivery_site;
+    // Cache warmth of the replica at its source site at enumeration
+    // time; > 0 means every plan of the group gets a cache-served twin.
+    double cache_fraction = 0.0;
   };
 
   /// `metadata` must outlive the generator. `sites` is the set of
@@ -62,6 +86,27 @@ class PlanGenerator {
   Result<std::vector<Plan>> Generate(SiteId query_site, LogicalOid content,
                                      const query::QosRequirement& qos,
                                      SimTime* metadata_latency = nullptr);
+
+  /// Stage 1 of the factored enumeration: the (replica, delivery site)
+  /// prefixes for `content`, in eager enumeration order. Fails with
+  /// kNotFound when no replica is registered.
+  Result<std::vector<GroupSeed>> EnumerateGroups(
+      SiteId query_site, LogicalOid content,
+      SimTime* metadata_latency = nullptr) const;
+
+  /// Stage 2: appends every surviving plan of `seed` to `out`, in eager
+  /// enumeration order (cache-served twin immediately before its disk
+  /// twin, matching Generate()).
+  void ExpandGroup(const GroupSeed& seed, const query::QosRequirement& qos,
+                   std::vector<Plan>& out) const;
+
+  /// The retrieval + transfer demand every plan of `seed` carries at
+  /// minimum, before any activity choice is fixed: disk bandwidth at the
+  /// source (the cache-served floor when the group has cached twins) and,
+  /// for relayed groups, the server-to-server transfer share. Overlaying
+  /// this vector on the pool lower-bounds the LRB cost of every plan in
+  /// the group — the admissible bound PlanStream prunes with.
+  ResourceVector RetrievalTransferDemand(const GroupSeed& seed) const;
 
   const Options& options() const { return options_; }
 

@@ -1,0 +1,85 @@
+#include "core/plan_stream.h"
+
+#include <cassert>
+#include <utility>
+
+namespace quasaq::core {
+
+PlanStream::PlanStream(const PlanGenerator* generator,
+                       const RuntimeCostEvaluator* evaluator,
+                       const res::ResourcePool* pool, SiteId query_site,
+                       LogicalOid content, const query::QosRequirement& qos,
+                       SimTime* metadata_latency)
+    : generator_(generator),
+      evaluator_(evaluator),
+      pool_(pool),
+      qos_(qos) {
+  assert(generator_ != nullptr);
+  assert(evaluator_ != nullptr);
+  assert(pool_ != nullptr);
+  Result<std::vector<PlanGenerator::GroupSeed>> groups =
+      generator_->EnumerateGroups(query_site, content, metadata_latency);
+  if (!groups.ok()) {
+    status_ = groups.status();
+    return;
+  }
+  groups_ = std::move(*groups);
+  stats_.groups = groups_.size();
+  const bool bounded = evaluator_->SupportsCostLowerBound();
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    Entry entry;
+    // Without a sound bound every group enters at 0: nothing can be
+    // yielded before the whole space is expanded, which reproduces the
+    // eager evaluator exactly (including the per-plan cost-model call
+    // order the Random model's RNG stream depends on).
+    entry.cost = bounded
+                     ? evaluator_->model().Cost(
+                           generator_->RetrievalTransferDemand(groups_[i]),
+                           *pool_)
+                     : 0.0;
+    entry.demand = -1.0;
+    entry.group_index = i;
+    frontier_.push(entry);
+  }
+}
+
+void PlanStream::ExpandGroup(size_t group_index) {
+  std::vector<Plan> expanded;
+  generator_->ExpandGroup(groups_[group_index], qos_, expanded);
+  ++stats_.groups_expanded;
+  stats_.plans_generated += expanded.size();
+  size_t within = 0;
+  for (Plan& plan : expanded) {
+    Ranked ranked;
+    ranked.cost = evaluator_->EfficiencyCost(plan, *pool_);
+    ranked.demand = RuntimeCostEvaluator::NormalizedDemand(plan, *pool_);
+    ranked.plan = std::move(plan);
+    plans_.push_back(std::move(ranked));
+
+    Entry entry;
+    entry.cost = plans_.back().cost;
+    entry.demand = plans_.back().demand;
+    entry.group_index = group_index;
+    entry.within_index = within++;
+    entry.plan_slot = static_cast<int>(plans_.size()) - 1;
+    frontier_.push(entry);
+  }
+}
+
+std::optional<PlanStream::Ranked> PlanStream::Next() {
+  while (!frontier_.empty()) {
+    Entry top = frontier_.top();
+    frontier_.pop();
+    if (top.plan_slot < 0) {
+      ExpandGroup(top.group_index);
+      continue;
+    }
+    // Every remaining frontier entry — group bound or exact key — is
+    // ordered after this plan, so it is the global minimum.
+    ++stats_.plans_yielded;
+    return std::move(plans_[static_cast<size_t>(top.plan_slot)]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace quasaq::core

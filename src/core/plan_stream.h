@@ -1,0 +1,122 @@
+#ifndef QUASAQ_CORE_PLAN_STREAM_H_
+#define QUASAQ_CORE_PLAN_STREAM_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "core/cost_evaluator.h"
+#include "core/plan.h"
+#include "core/plan_generator.h"
+#include "query/ast.h"
+#include "resource/pool.h"
+
+// Lazy best-first enumeration of the plan search space (paper §3.4).
+//
+// The eager pipeline materializes every plan, ranks the full vector and
+// walks it — O(d^n) work even when the very first plan is admitted,
+// which is the common case the throughput experiments depend on. The
+// PlanStream instead yields plans one at a time in exactly the ranking
+// order of RuntimeCostEvaluator::Rank (same cost key, same tie-breaks),
+// expanding the search space only as far as the consumer pulls.
+//
+// The search is organized over (replica, delivery-site) groups — the
+// (A1, A2) prefixes of the enumeration. Each group carries an
+// admissible lower bound on the LRB cost f(r) = max_i (U_i + r_i)/R_i
+// of every plan it contains: the bound overlays only the group's
+// retrieval + transfer demand, which every activity combination (A3–A5)
+// of the group must carry, so bound <= true cost always holds. A
+// best-first frontier mixes unexpanded groups (keyed by their bound)
+// with already-costed plans (keyed by their exact ranking key); a plan
+// is yielded only once no group that could still beat it remains, so
+// groups whose bound exceeds the cost of the plan the consumer stops at
+// are never expanded at all. For cost models without a sound bound
+// (Random, the ablation models, or a gain function) every group bound
+// is zero: the stream degenerates to full enumeration — still in
+// bit-identical ranking order, just without pruning.
+
+namespace quasaq::core {
+
+class PlanStream {
+ public:
+  // One yielded plan with the key it was ordered by (cost = C(r)/G,
+  // demand = the tie-break of RuntimeCostEvaluator::Rank).
+  struct Ranked {
+    Plan plan;
+    double cost = 0.0;
+    double demand = 0.0;
+  };
+
+  struct Stats {
+    // (replica, delivery-site) prefixes the space decomposes into.
+    size_t groups = 0;
+    size_t groups_expanded = 0;
+    // Plans materialized and costed (the work the eager path always
+    // pays for the whole space).
+    size_t plans_generated = 0;
+    size_t plans_yielded = 0;
+  };
+
+  /// All pointers must outlive the stream. The stream captures the
+  /// search space of `content` under `qos` as seen from `query_site`;
+  /// costs are evaluated against `pool`'s usage at expansion time, so a
+  /// stream must be consumed before reservations move the pool.
+  PlanStream(const PlanGenerator* generator,
+             const RuntimeCostEvaluator* evaluator,
+             const res::ResourcePool* pool, SiteId query_site,
+             LogicalOid content, const query::QosRequirement& qos,
+             SimTime* metadata_latency = nullptr);
+
+  /// Construction failure (kNotFound when no replica exists). A failed
+  /// stream yields nothing.
+  const Status& status() const { return status_; }
+
+  /// The next plan in ranking order, or nullopt when the space is
+  /// exhausted.
+  std::optional<Ranked> Next();
+
+  /// Number of unexpanded groups — the branches pruning saved so far.
+  size_t groups_pruned() const { return stats_.groups - stats_.groups_expanded; }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Frontier entry: a group awaiting expansion (plan_slot < 0, cost =
+  // lower bound) or a materialized plan (cost = exact ranking key).
+  // Groups carry demand -1 so they expand before any plan of equal
+  // cost — required for the bound to stay sound on exact ties.
+  struct Entry {
+    double cost = 0.0;
+    double demand = 0.0;
+    size_t group_index = 0;
+    size_t within_index = 0;
+    int plan_slot = -1;
+  };
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.cost != b.cost) return a.cost > b.cost;
+      if (a.demand != b.demand) return a.demand > b.demand;
+      if (a.group_index != b.group_index) return a.group_index > b.group_index;
+      return a.within_index > b.within_index;
+    }
+  };
+
+  void ExpandGroup(size_t group_index);
+
+  const PlanGenerator* generator_;
+  const RuntimeCostEvaluator* evaluator_;
+  const res::ResourcePool* pool_;
+  query::QosRequirement qos_;
+  Status status_;
+  std::vector<PlanGenerator::GroupSeed> groups_;
+  std::vector<Ranked> plans_;  // materialized plans, stable slots
+  std::priority_queue<Entry, std::vector<Entry>, EntryAfter> frontier_;
+  Stats stats_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_PLAN_STREAM_H_

@@ -1,6 +1,7 @@
 #include "core/quality_manager.h"
 
 #include <cassert>
+#include <cstdio>
 
 namespace quasaq::core {
 
@@ -16,7 +17,49 @@ QualityManager::QualityManager(meta::DistributedMetadataEngine* metadata,
   assert(qos_api_ != nullptr);
 }
 
+void QualityManager::PopulateDefaultTranscodeTargets(
+    PlanGenerator::Options& options) {
+  if (!options.transcode_targets.empty()) return;
+  for (const media::AppQos& level :
+       media::QualityLadder::Standard().levels) {
+    options.transcode_targets.push_back(level);
+    media::AppQos variant = level;
+    if (level.color_depth_bits > 12) {
+      variant.color_depth_bits = 12;
+      options.transcode_targets.push_back(variant);
+    }
+    if (level.audio > media::AudioQuality::kFm) {
+      variant = level;
+      variant.audio = media::AudioQuality::kFm;
+      options.transcode_targets.push_back(variant);
+      if (level.color_depth_bits > 12) {
+        variant.color_depth_bits = 12;
+        options.transcode_targets.push_back(variant);
+      }
+    }
+  }
+}
+
+void QualityManager::ConfigureGain(const query::QosRequirement& qos) {
+  if (options_.goal == OptimizationGoal::kUserSatisfaction) {
+    evaluator_.set_gain_function(
+        MakeSatisfactionGain(qos.range, options_.utility_weights));
+  } else {
+    evaluator_.set_gain_function(nullptr);
+  }
+}
+
 Result<QualityManager::Admitted> QualityManager::TryAdmit(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    bool* had_plans) {
+  ConfigureGain(qos);
+  if (generator_.options().lazy_enumeration) {
+    return TryAdmitStreamed(query_site, content, qos, had_plans);
+  }
+  return TryAdmitEager(query_site, content, qos, had_plans);
+}
+
+Result<QualityManager::Admitted> QualityManager::TryAdmitEager(
     SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
     bool* had_plans) {
   Result<std::vector<Plan>> plans =
@@ -26,12 +69,6 @@ Result<QualityManager::Admitted> QualityManager::TryAdmit(
   *had_plans = !plans->empty();
   if (plans->empty()) {
     return Status::NotFound("no plan satisfies the QoS bounds");
-  }
-  if (options_.goal == OptimizationGoal::kUserSatisfaction) {
-    evaluator_.set_gain_function(
-        MakeSatisfactionGain(qos.range, options_.utility_weights));
-  } else {
-    evaluator_.set_gain_function(nullptr);
   }
   evaluator_.Rank(*plans, qos_api_->pool());
   int attempts = 0;
@@ -53,6 +90,40 @@ Result<QualityManager::Admitted> QualityManager::TryAdmit(
   return Status::ResourceExhausted("no admittable plan");
 }
 
+Result<QualityManager::Admitted> QualityManager::TryAdmitStreamed(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    bool* had_plans) {
+  PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(), query_site,
+                    content, qos);
+  if (!stream.status().ok()) return stream.status();
+  Result<Admitted> result =
+      Status::ResourceExhausted("no admittable plan");
+  int attempts = 0;
+  while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
+    *had_plans = true;
+    if (options_.max_admission_attempts > 0 &&
+        attempts >= options_.max_admission_attempts) {
+      break;
+    }
+    ++attempts;
+    if (!qos_api_->Admissible(ranked->plan.resources)) continue;
+    Result<res::ReservationId> reservation =
+        qos_api_->Reserve(ranked->plan.resources);
+    if (!reservation.ok()) continue;  // raced/edge: try the next plan
+    Admitted admitted;
+    admitted.plan = std::move(ranked->plan);
+    admitted.reservation = *reservation;
+    result = std::move(admitted);
+    break;
+  }
+  stats_.plans_generated += stream.stats().plans_generated;
+  stats_.groups_pruned += stream.groups_pruned();
+  if (!result.ok() && !*had_plans) {
+    return Status::NotFound("no plan satisfies the QoS bounds");
+  }
+  return result;
+}
+
 Result<QualityManager::Admitted> QualityManager::AdmitQuery(
     SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
     const UserProfile* profile) {
@@ -71,6 +142,7 @@ Result<QualityManager::Admitted> QualityManager::AdmitQuery(
     query::QosRequirement relaxed = qos;
     for (int round = 0; round < options_.max_renegotiation_rounds; ++round) {
       if (!profile->RelaxForRenegotiation(relaxed.range)) break;
+      had_plans = false;
       Result<Admitted> retry =
           TryAdmit(query_site, content, relaxed, &had_plans);
       any_plans_seen = any_plans_seen || had_plans;
@@ -101,15 +173,31 @@ Status QualityManager::CompleteDelivery(const Admitted& admitted) {
 Result<std::vector<QualityManager::RankedPlan>> QualityManager::ExplainPlans(
     SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
     size_t limit) {
+  ConfigureGain(qos);
+  if (generator_.options().lazy_enumeration) {
+    PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(),
+                      query_site, content, qos);
+    if (!stream.status().ok()) return stream.status();
+    std::vector<RankedPlan> ranked;
+    while (ranked.size() < limit) {
+      std::optional<PlanStream::Ranked> next = stream.Next();
+      if (!next.has_value()) break;
+      RankedPlan entry;
+      entry.cost =
+          evaluator_.model().Cost(next->plan.resources, qos_api_->pool());
+      entry.admissible = qos_api_->Admissible(next->plan.resources);
+      entry.plan = std::move(next->plan);
+      ranked.push_back(std::move(entry));
+    }
+    stats_.plans_generated += stream.stats().plans_generated;
+    stats_.groups_pruned += stream.groups_pruned();
+    return ranked;
+  }
+
   Result<std::vector<Plan>> plans =
       generator_.Generate(query_site, content, qos);
   if (!plans.ok()) return plans.status();
-  if (options_.goal == OptimizationGoal::kUserSatisfaction) {
-    evaluator_.set_gain_function(
-        MakeSatisfactionGain(qos.range, options_.utility_weights));
-  } else {
-    evaluator_.set_gain_function(nullptr);
-  }
+  stats_.plans_generated += plans->size();
   evaluator_.Rank(*plans, qos_api_->pool());
   std::vector<RankedPlan> ranked;
   ranked.reserve(std::min(limit, plans->size()));
@@ -124,23 +212,64 @@ Result<std::vector<QualityManager::RankedPlan>> QualityManager::ExplainPlans(
   return ranked;
 }
 
+std::string QualityManager::FormatPlanListing(
+    LogicalOid content, const std::vector<RankedPlan>& plans) {
+  std::string out = "EXPLAIN: " + std::to_string(plans.size()) +
+                    " plans for logical OID " +
+                    std::to_string(content.value()) + "\n";
+  char buf[160];
+  int rank = 1;
+  for (const RankedPlan& entry : plans) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %2d. cost=%.4f %-9s %6.1f KB/s  startup=%.1fs  %s\n",
+                  rank++, entry.cost,
+                  entry.admissible ? "admit" : "reject",
+                  entry.plan.wire_rate_kbps, entry.plan.startup_seconds,
+                  entry.plan.ToString().c_str());
+    out += buf;
+  }
+  return out;
+}
+
 Result<QualityManager::Admitted> QualityManager::RenegotiateDelivery(
     res::ReservationId id, SiteId query_site, LogicalOid content,
     const query::QosRequirement& qos) {
   if (qos_api_->Find(id) == nullptr) {
     return Status::NotFound("unknown reservation");
   }
+  ConfigureGain(qos);
+  if (generator_.options().lazy_enumeration) {
+    PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(),
+                      query_site, content, qos);
+    if (!stream.status().ok()) return stream.status();
+    bool had_plans = false;
+    Result<Admitted> result = Status::ResourceExhausted(
+        "no admittable plan for the renegotiated QoS");
+    while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
+      had_plans = true;
+      Status status = qos_api_->Renegotiate(id, ranked->plan.resources);
+      if (!status.ok()) continue;
+      Admitted admitted;
+      admitted.plan = std::move(ranked->plan);
+      admitted.reservation = id;
+      admitted.renegotiated = true;
+      result = std::move(admitted);
+      break;
+    }
+    stats_.plans_generated += stream.stats().plans_generated;
+    stats_.groups_pruned += stream.groups_pruned();
+    if (!result.ok() && !had_plans) {
+      return Status::NotFound("no plan satisfies the new QoS bounds");
+    }
+    return result;
+  }
+
   Result<std::vector<Plan>> plans =
       generator_.Generate(query_site, content, qos);
   if (!plans.ok()) return plans.status();
+  stats_.plans_generated += plans->size();
   if (plans->empty()) {
     return Status::NotFound("no plan satisfies the new QoS bounds");
-  }
-  if (options_.goal == OptimizationGoal::kUserSatisfaction) {
-    evaluator_.set_gain_function(
-        MakeSatisfactionGain(qos.range, options_.utility_weights));
-  } else {
-    evaluator_.set_gain_function(nullptr);
   }
   evaluator_.Rank(*plans, qos_api_->pool());
   for (Plan& plan : *plans) {

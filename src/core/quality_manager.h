@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "core/cost_evaluator.h"
 #include "core/plan_generator.h"
+#include "core/plan_stream.h"
 #include "core/qop.h"
 #include "core/utility.h"
 #include "metadata/distributed_engine.h"
@@ -21,6 +22,14 @@
 // executed. When nothing is admittable and the user profile allows it,
 // the QoS bounds are relaxed along the user's least-valued axis and the
 // query gets a "second chance" (renegotiation).
+//
+// By default the ranking is walked through a lazy best-first PlanStream
+// (core/plan_stream.h): plans are materialized only as far as admission
+// control actually looks, and branches whose LRB lower bound exceeds
+// the first admitted cost are never generated. The eager
+// materialize-and-sort path is kept behind
+// PlanGenerator::Options::lazy_enumeration for the ablation benches;
+// both paths admit the identical plan.
 
 namespace quasaq::core {
 
@@ -55,7 +64,11 @@ class QualityManager {
     uint64_t rejected_no_plan = 0;      // QoS unsatisfiable from storage
     uint64_t rejected_no_resources = 0; // all plans failed admission
     uint64_t renegotiated = 0;          // admitted at relaxed QoS
+    // Plans materialized and costed. On the eager path this is the full
+    // search space per query; on the streamed path only the expanded
+    // prefix, so the difference is the pruning win.
     uint64_t plans_generated = 0;
+    uint64_t groups_pruned = 0;  // streamed path: branches never expanded
   };
 
   // A successfully admitted query.
@@ -69,6 +82,12 @@ class QualityManager {
   QualityManager(meta::DistributedMetadataEngine* metadata,
                  res::CompositeQosApi* qos_api, CostModel* cost_model,
                  std::vector<SiteId> sites, const Options& options);
+
+  /// Populates `options.transcode_targets` (when empty) with the
+  /// standard ladder plus reduced-color and reduced-audio variants so
+  /// color-only or audio-only degradations are plannable — the default
+  /// activity set of the full-stack system configuration.
+  static void PopulateDefaultTranscodeTargets(PlanGenerator::Options& options);
 
   /// Plans, ranks and reserves the delivery of `content` under `qos`.
   /// `profile` enables renegotiation (nullptr = none). Fails with
@@ -99,20 +118,36 @@ class QualityManager {
   };
 
   /// Enumerates and ranks the plans for `content` under `qos` without
-  /// reserving anything — the EXPLAIN path. At most `limit` entries.
+  /// reserving anything — the EXPLAIN path. At most `limit` entries; on
+  /// the streamed path enumeration stops as soon as `limit` plans have
+  /// been yielded instead of ranking the whole space first.
   Result<std::vector<RankedPlan>> ExplainPlans(
       SiteId query_site, LogicalOid content,
       const query::QosRequirement& qos, size_t limit = 10);
+
+  /// Renders an EXPLAIN listing for `content`, one plan per line with
+  /// its cost, wire rate, startup latency and admissibility.
+  static std::string FormatPlanListing(LogicalOid content,
+                                       const std::vector<RankedPlan>& plans);
 
   const Stats& stats() const { return stats_; }
   res::CompositeQosApi& qos_api() { return *qos_api_; }
   PlanGenerator& generator() { return generator_; }
 
  private:
+  // Installs the gain function matching the optimization goal for a
+  // query's QoS window.
+  void ConfigureGain(const query::QosRequirement& qos);
   // One plan-and-admit attempt at fixed QoS bounds. Fills `had_plans`.
   Result<Admitted> TryAdmit(SiteId query_site, LogicalOid content,
                             const query::QosRequirement& qos,
                             bool* had_plans);
+  Result<Admitted> TryAdmitEager(SiteId query_site, LogicalOid content,
+                                 const query::QosRequirement& qos,
+                                 bool* had_plans);
+  Result<Admitted> TryAdmitStreamed(SiteId query_site, LogicalOid content,
+                                    const query::QosRequirement& qos,
+                                    bool* had_plans);
 
   res::CompositeQosApi* qos_api_;
   PlanGenerator generator_;

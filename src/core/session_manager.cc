@@ -1,0 +1,142 @@
+#include "core/session_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace quasaq::core {
+
+SessionManager::SessionManager(sim::Simulator* simulator,
+                               res::CompositeQosApi* qos_api)
+    : simulator_(simulator), qos_api_(qos_api) {
+  assert(simulator_ != nullptr);
+  assert(qos_api_ != nullptr);
+}
+
+SessionId SessionManager::Start(Record record, double duration_seconds) {
+  SessionId id(next_session_++);
+  record.start = simulator_->Now();
+  record.expected_end =
+      simulator_->Now() + SecondsToSimTime(duration_seconds);
+  if (record.reservation != res::kInvalidReservationId) {
+    const ResourceVector* vector = qos_api_->Find(record.reservation);
+    assert(vector != nullptr);
+    record.reserved_vector = *vector;
+  }
+  if (record.vdbms_kbps > 0.0) {
+    vdbms_site_kbps_[record.site] += record.vdbms_kbps;
+  }
+  record.completion_event = simulator_->ScheduleAt(
+      record.expected_end, [this, id] { Complete(id); });
+  sessions_.emplace(id, std::move(record));
+  ++outstanding_;
+  return id;
+}
+
+const SessionManager::Record* SessionManager::Find(SessionId session) const {
+  auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+double SessionManager::vdbms_active_kbps(SiteId site) const {
+  auto it = vdbms_site_kbps_.find(site);
+  return it == vdbms_site_kbps_.end() ? 0.0 : it->second;
+}
+
+void SessionManager::UnpinVdbms(const Record& record) {
+  if (record.vdbms_kbps <= 0.0) return;
+  double& active = vdbms_site_kbps_[record.site];
+  active = std::max(0.0, active - record.vdbms_kbps);
+}
+
+Status SessionManager::Pause(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  Record& record = it->second;
+  if (record.paused) {
+    return Status::FailedPrecondition("session already paused");
+  }
+  // A paused stream sends nothing: give its resources back.
+  if (record.reservation != res::kInvalidReservationId) {
+    Status status = qos_api_->Release(record.reservation);
+    assert(status.ok());
+    (void)status;
+    record.reservation = res::kInvalidReservationId;
+  }
+  UnpinVdbms(record);
+  simulator_->Cancel(record.completion_event);
+  record.completion_event = sim::kInvalidEventId;
+  record.remaining_at_pause = record.expected_end - simulator_->Now();
+  record.paused = true;
+  return Status::Ok();
+}
+
+Status SessionManager::Resume(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  Record& record = it->second;
+  if (!record.paused) {
+    return Status::FailedPrecondition("session is not paused");
+  }
+  // Re-admission: the released resources must still be available.
+  if (!record.reserved_vector.empty()) {
+    Result<res::ReservationId> reservation =
+        qos_api_->Reserve(record.reserved_vector);
+    if (!reservation.ok()) return reservation.status();
+    record.reservation = *reservation;
+  }
+  if (record.vdbms_kbps > 0.0) {
+    vdbms_site_kbps_[record.site] += record.vdbms_kbps;
+  }
+  record.paused = false;
+  record.expected_end = simulator_->Now() + record.remaining_at_pause;
+  SessionId id = session;
+  record.completion_event = simulator_->ScheduleAt(
+      record.expected_end, [this, id] { Complete(id); });
+  return Status::Ok();
+}
+
+Status SessionManager::Cancel(SessionId session) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  const Record& record = it->second;
+  if (record.reservation != res::kInvalidReservationId) {
+    Status status = qos_api_->Release(record.reservation);
+    assert(status.ok());
+    (void)status;
+  }
+  // Paused sessions already returned their resources.
+  if (!record.paused) UnpinVdbms(record);
+  sessions_.erase(it);
+  --outstanding_;
+  return Status::Ok();
+}
+
+Status SessionManager::AdoptRenegotiatedPlan(SessionId session,
+                                             SiteId delivery_site,
+                                             const ResourceVector& resources) {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return Status::NotFound("no such session");
+  Record& record = it->second;
+  record.site = delivery_site;
+  record.reserved_vector = resources;
+  return Status::Ok();
+}
+
+void SessionManager::Complete(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;  // cancelled earlier
+  const Record& record = it->second;
+  if (record.reservation != res::kInvalidReservationId) {
+    Status status = qos_api_->Release(record.reservation);
+    assert(status.ok());
+    (void)status;
+  }
+  UnpinVdbms(record);
+  sessions_.erase(it);
+  --outstanding_;
+  ++completed_;
+  if (on_complete_) on_complete_(id, simulator_->Now());
+}
+
+}  // namespace quasaq::core

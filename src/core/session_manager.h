@@ -1,0 +1,109 @@
+#ifndef QUASAQ_CORE_SESSION_MANAGER_H_
+#define QUASAQ_CORE_SESSION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.h"
+#include "common/resource_vector.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "resource/composite_api.h"
+#include "simcore/simulator.h"
+
+// Session lifecycle layer, extracted from the MediaDbSystem facade: owns
+// the session table and every piece of per-session bookkeeping —
+// timed completion events, expected-end times, reservation handles and
+// their resource vectors (for re-admission on resume), pause/resume
+// state, and the per-site bitrate pinning the plain-VDBMS configuration
+// uses in place of reservations. The facade decides *what* to deliver
+// (per system kind) and hands the resulting record to this manager,
+// which alone decides *when* resources are released: exactly once, at
+// completion, cancellation, or pause.
+//
+// Isolating this bookkeeping from placement/planning logic is the
+// prerequisite for sharding the session table (see docs/ARCHITECTURE.md
+// and ROADMAP.md).
+
+namespace quasaq::core {
+
+class SessionManager {
+ public:
+  struct Record {
+    LogicalOid content;
+    SimTime start = 0;
+    res::ReservationId reservation = res::kInvalidReservationId;
+    double vdbms_kbps = 0.0;  // bitrate pinned on `site` (VDBMS only)
+    SiteId site;
+    // Pause/resume bookkeeping.
+    sim::EventId completion_event = sim::kInvalidEventId;
+    SimTime expected_end = 0;
+    bool paused = false;
+    SimTime remaining_at_pause = 0;
+    ResourceVector reserved_vector;  // for re-admission on resume
+  };
+
+  using CompleteCallback = std::function<void(SessionId, SimTime)>;
+
+  /// Both pointers must outlive the manager.
+  SessionManager(sim::Simulator* simulator, res::CompositeQosApi* qos_api);
+
+  /// Registers a delivery and schedules its completion. Captures the
+  /// reservation's resource vector (when one is held) so resume can
+  /// re-admit it, and pins `record.vdbms_kbps` on the record's site.
+  SessionId Start(Record record, double duration_seconds);
+
+  /// Pauses a running session. Its reserved resources are released
+  /// while paused (a paused stream sends nothing); playback time stops
+  /// accruing.
+  Status Pause(SessionId session);
+
+  /// Resumes a paused session — effectively a renegotiation, since the
+  /// released resources must be re-admitted. Fails with
+  /// kResourceExhausted when the system can no longer carry the stream;
+  /// the session then stays paused, its resources still released.
+  Status Resume(SessionId session);
+
+  /// Aborts a session early, releasing whatever it still holds.
+  Status Cancel(SessionId session);
+
+  /// Re-points a session at a renegotiated delivery: the new delivery
+  /// site and the resource vector resume must re-admit. The reservation
+  /// handle itself is unchanged (renegotiation swaps it in place); for
+  /// paused sessions nothing is acquired until Resume.
+  Status AdoptRenegotiatedPlan(SessionId session, SiteId delivery_site,
+                               const ResourceVector& resources);
+
+  /// The session's record, or nullptr. Invalidated by any mutation.
+  const Record* Find(SessionId session) const;
+
+  /// Active VDBMS-pinned bitrate currently streaming from `site`.
+  double vdbms_active_kbps(SiteId site) const;
+
+  int outstanding() const { return outstanding_; }
+  uint64_t completed() const { return completed_; }
+
+  void set_on_complete(CompleteCallback callback) {
+    on_complete_ = std::move(callback);
+  }
+
+ private:
+  void Complete(SessionId id);
+  // Returns the session's pinned VDBMS bitrate to its site (no-op for
+  // reservation-backed sessions).
+  void UnpinVdbms(const Record& record);
+
+  sim::Simulator* simulator_;
+  res::CompositeQosApi* qos_api_;
+  int64_t next_session_ = 1;
+  int outstanding_ = 0;
+  uint64_t completed_ = 0;
+  std::unordered_map<SessionId, Record> sessions_;
+  std::unordered_map<SiteId, double> vdbms_site_kbps_;
+  CompleteCallback on_complete_;
+};
+
+}  // namespace quasaq::core
+
+#endif  // QUASAQ_CORE_SESSION_MANAGER_H_

@@ -23,9 +23,14 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
       options_(options),
       library_(media::BuildExperimentLibrary(options.library,
                                              options.topology.SiteIds())),
-      qos_api_(&pool_) {
+      qos_api_(&pool_),
+      session_manager_(simulator, &qos_api_) {
   assert(simulator_ != nullptr);
   std::vector<SiteId> sites = options_.topology.SiteIds();
+  session_manager_.set_on_complete([this](SessionId id, SimTime now) {
+    ++stats_.completed;
+    if (on_session_complete_) on_session_complete_(id, now);
+  });
 
   // Resource buckets: one CPU / net / disk / memory bucket per server.
   for (const net::ServerSpec& server : options_.topology.servers) {
@@ -63,30 +68,8 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
   if (options_.kind == SystemKind::kVdbmsQuasaq) {
     cost_model_ = MakeCostModel(options_.cost_model, options_.seed);
     assert(cost_model_ != nullptr && "unknown cost model name");
-    // Offer reduced-color and reduced-audio transcode variants in
-    // addition to the standard ladder so color-only or audio-only
-    // degradations are plannable.
     QualityManager::Options quality = options_.quality;
-    if (quality.generator.transcode_targets.empty()) {
-      for (const media::AppQos& level :
-           media::QualityLadder::Standard().levels) {
-        quality.generator.transcode_targets.push_back(level);
-        media::AppQos variant = level;
-        if (level.color_depth_bits > 12) {
-          variant.color_depth_bits = 12;
-          quality.generator.transcode_targets.push_back(variant);
-        }
-        if (level.audio > media::AudioQuality::kFm) {
-          variant = level;
-          variant.audio = media::AudioQuality::kFm;
-          quality.generator.transcode_targets.push_back(variant);
-          if (level.color_depth_bits > 12) {
-            variant.color_depth_bits = 12;
-            quality.generator.transcode_targets.push_back(variant);
-          }
-        }
-      }
-    }
+    QualityManager::PopulateDefaultTranscodeTargets(quality.generator);
     if (options_.cache.enabled) {
       quality.generator.min_cache_fraction = options_.cache.min_plan_fraction;
     }
@@ -133,40 +116,9 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
   }
 }
 
-storage::StorageManager* MediaDbSystem::storage_at(SiteId site) {
-  for (auto& store : storage_) {
-    if (store->site() == site) return store.get();
-  }
-  return nullptr;
-}
-
-int MediaDbSystem::DesiredLadderLevel(
-    const media::AppQosRange& range) const {
-  const std::vector<media::AppQos>& levels =
-      media::QualityLadder::Standard().levels;
-  for (int level = static_cast<int>(levels.size()) - 1; level >= 0;
-       --level) {
-    if (range.Contains(levels[static_cast<size_t>(level)])) return level;
-  }
-  return -1;
-}
-
 std::vector<LogicalOid> MediaDbSystem::ResolveContent(
     const query::ParsedQuery& parsed) const {
   return content_index_.Search(parsed.content);
-}
-
-const media::ReplicaInfo* MediaDbSystem::MasterReplicaAt(
-    LogicalOid content, SiteId site) const {
-  const media::ReplicaInfo* best = nullptr;
-  for (const media::ReplicaInfo& replica : library_.replicas) {
-    if (replica.content != content || replica.site != site) continue;
-    if (best == nullptr || best->qos.resolution.PixelCount() <
-                               replica.qos.resolution.PixelCount()) {
-      best = &replica;
-    }
-  }
-  return best;
 }
 
 MediaDbSystem::DeliveryOutcome MediaDbSystem::SubmitDelivery(
@@ -196,7 +148,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::SubmitDelivery(
 MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverVdbms(
     SiteId site, LogicalOid content) {
   DeliveryOutcome outcome;
-  const media::ReplicaInfo* replica = MasterReplicaAt(content, site);
+  const media::ReplicaInfo* replica = library_.MasterReplicaAt(content, site);
   if (replica == nullptr) {
     outcome.status = Status::NotFound("no replica at receiving site");
     return outcome;
@@ -207,30 +159,29 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverVdbms(
   // admission (retransmissions/late frames — the Fig 5c pathology).
   const net::ServerSpec* spec = options_.topology.Find(site);
   assert(spec != nullptr);
-  double active_kbps = vdbms_site_kbps_[site.value()];
+  double active_kbps = session_manager_.vdbms_active_kbps(site);
   double demand_ratio =
       (active_kbps + replica->bitrate_kbps) / spec->outbound_kbps;
   double stretch =
       std::clamp(demand_ratio, 1.0, options_.vdbms_max_stretch);
 
-  SessionRecord record;
+  SessionManager::Record record;
   record.content = content;
   record.site = site;
   record.vdbms_kbps = replica->bitrate_kbps;
-  vdbms_site_kbps_[site.value()] += replica->bitrate_kbps;
 
   outcome.status = Status::Ok();
   outcome.delivered_qos = replica->qos;
   outcome.wire_rate_kbps = replica->bitrate_kbps;
-  outcome.session =
-      StartSession(record, replica->duration_seconds * stretch);
+  outcome.session = session_manager_.Start(std::move(record),
+                                           replica->duration_seconds * stretch);
   return outcome;
 }
 
 MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
     SiteId site, LogicalOid content) {
   DeliveryOutcome outcome;
-  const media::ReplicaInfo* replica = MasterReplicaAt(content, site);
+  const media::ReplicaInfo* replica = library_.MasterReplicaAt(content, site);
   if (replica == nullptr) {
     outcome.status = Status::NotFound("no replica at receiving site");
     return outcome;
@@ -247,14 +198,15 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
     outcome.status = reservation.status();
     return outcome;
   }
-  SessionRecord record;
+  SessionManager::Record record;
   record.content = content;
   record.site = site;
   record.reservation = *reservation;
   outcome.status = Status::Ok();
   outcome.delivered_qos = replica->qos;
   outcome.wire_rate_kbps = plan.wire_rate_kbps;
-  outcome.session = StartSession(record, replica->duration_seconds);
+  outcome.session =
+      session_manager_.Start(std::move(record), replica->duration_seconds);
   return outcome;
 }
 
@@ -263,7 +215,8 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
     const UserProfile* profile) {
   DeliveryOutcome outcome;
   if (replication_manager_ != nullptr) {
-    int level = DesiredLadderLevel(qos.range);
+    int level =
+        media::QualityLadder::Standard().CheapestSatisfyingLevel(qos.range);
     if (level >= 0) replication_manager_->RecordDemand(content, level);
   }
   Result<QualityManager::Admitted> admitted =
@@ -288,7 +241,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
       }
     }
   }
-  SessionRecord record;
+  SessionManager::Record record;
   record.content = content;
   record.site = admitted->plan.delivery_site;
   record.reservation = admitted->reservation;
@@ -296,114 +249,9 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
   outcome.renegotiated = admitted->renegotiated;
   outcome.delivered_qos = admitted->plan.delivered_qos;
   outcome.wire_rate_kbps = admitted->plan.wire_rate_kbps;
-  outcome.session = StartSession(record, content_info->duration_seconds);
+  outcome.session = session_manager_.Start(std::move(record),
+                                           content_info->duration_seconds);
   return outcome;
-}
-
-SessionId MediaDbSystem::StartSession(SessionRecord record,
-                                      double duration_seconds) {
-  SessionId id(next_session_++);
-  record.start = simulator_->Now();
-  record.expected_end =
-      simulator_->Now() + SecondsToSimTime(duration_seconds);
-  if (record.reservation != res::kInvalidReservationId) {
-    const ResourceVector* vector = qos_api_.Find(record.reservation);
-    assert(vector != nullptr);
-    record.reserved_vector = *vector;
-  }
-  record.completion_event = simulator_->ScheduleAt(
-      record.expected_end, [this, id] { CompleteSession(id); });
-  sessions_.emplace(id, record);
-  ++outstanding_;
-  return id;
-}
-
-Status MediaDbSystem::PauseSession(SessionId session) {
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) return Status::NotFound("no such session");
-  SessionRecord& record = it->second;
-  if (record.paused) {
-    return Status::FailedPrecondition("session already paused");
-  }
-  // A paused stream sends nothing: give its resources back.
-  if (record.reservation != res::kInvalidReservationId) {
-    Status status = qos_api_.Release(record.reservation);
-    assert(status.ok());
-    (void)status;
-    record.reservation = res::kInvalidReservationId;
-  }
-  if (record.vdbms_kbps > 0.0) {
-    double& active = vdbms_site_kbps_[record.site.value()];
-    active = std::max(0.0, active - record.vdbms_kbps);
-  }
-  simulator_->Cancel(record.completion_event);
-  record.completion_event = sim::kInvalidEventId;
-  record.remaining_at_pause = record.expected_end - simulator_->Now();
-  record.paused = true;
-  return Status::Ok();
-}
-
-Status MediaDbSystem::ResumeSession(SessionId session) {
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) return Status::NotFound("no such session");
-  SessionRecord& record = it->second;
-  if (!record.paused) {
-    return Status::FailedPrecondition("session is not paused");
-  }
-  // Re-admission: the released resources must still be available.
-  if (!record.reserved_vector.empty()) {
-    Result<res::ReservationId> reservation =
-        qos_api_.Reserve(record.reserved_vector);
-    if (!reservation.ok()) return reservation.status();
-    record.reservation = *reservation;
-  }
-  if (record.vdbms_kbps > 0.0) {
-    vdbms_site_kbps_[record.site.value()] += record.vdbms_kbps;
-  }
-  record.paused = false;
-  record.expected_end = simulator_->Now() + record.remaining_at_pause;
-  SessionId id = session;
-  record.completion_event = simulator_->ScheduleAt(
-      record.expected_end, [this, id] { CompleteSession(id); });
-  return Status::Ok();
-}
-
-void MediaDbSystem::CompleteSession(SessionId id) {
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) return;  // cancelled earlier
-  const SessionRecord& record = it->second;
-  if (record.reservation != res::kInvalidReservationId) {
-    Status status = qos_api_.Release(record.reservation);
-    assert(status.ok());
-    (void)status;
-  }
-  if (record.vdbms_kbps > 0.0) {
-    double& active = vdbms_site_kbps_[record.site.value()];
-    active = std::max(0.0, active - record.vdbms_kbps);
-  }
-  sessions_.erase(it);
-  --outstanding_;
-  ++stats_.completed;
-  if (on_session_complete_) on_session_complete_(id, simulator_->Now());
-}
-
-Status MediaDbSystem::CancelSession(SessionId session) {
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) return Status::NotFound("no such session");
-  const SessionRecord& record = it->second;
-  if (record.reservation != res::kInvalidReservationId) {
-    Status status = qos_api_.Release(record.reservation);
-    assert(status.ok());
-    (void)status;
-  }
-  // Paused sessions already returned their resources.
-  if (record.vdbms_kbps > 0.0 && !record.paused) {
-    double& active = vdbms_site_kbps_[record.site.value()];
-    active = std::max(0.0, active - record.vdbms_kbps);
-  }
-  sessions_.erase(it);
-  --outstanding_;
-  return Status::Ok();
 }
 
 Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
@@ -412,21 +260,33 @@ Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
     return Status::FailedPrecondition(
         "mid-playback renegotiation requires QuaSAQ");
   }
-  auto it = sessions_.find(session);
-  if (it == sessions_.end()) return Status::NotFound("no such session");
-  SessionRecord& record = it->second;
-  Result<QualityManager::Admitted> renegotiated =
-      quality_manager_->RenegotiateDelivery(record.reservation, record.site,
-                                            record.content, new_qos);
-  if (!renegotiated.ok()) return renegotiated.status();
-  record.site = renegotiated->plan.delivery_site;
-  record.reserved_vector = renegotiated->plan.resources;
+  const SessionManager::Record* record = session_manager_.Find(session);
+  if (record == nullptr) return Status::NotFound("no such session");
+  // A paused session holds no reservation to renegotiate in place: plan
+  // fresh, then immediately hand the resources back — Resume re-admits
+  // the adopted vector when playback actually restarts.
+  Result<QualityManager::Admitted> admitted =
+      record->paused
+          ? quality_manager_->AdmitQuery(record->site, record->content,
+                                         new_qos)
+          : quality_manager_->RenegotiateDelivery(
+                record->reservation, record->site, record->content, new_qos);
+  if (!admitted.ok()) return admitted.status();
+  if (record->paused) {
+    Status released = qos_api_.Release(admitted->reservation);
+    assert(released.ok());
+    (void)released;
+  }
+  Status adopted = session_manager_.AdoptRenegotiatedPlan(
+      session, admitted->plan.delivery_site, admitted->plan.resources);
+  assert(adopted.ok());
+  (void)adopted;
   DeliveryOutcome outcome;
   outcome.status = Status::Ok();
   outcome.session = session;
   outcome.renegotiated = true;
-  outcome.delivered_qos = renegotiated->plan.delivered_qos;
-  outcome.wire_rate_kbps = renegotiated->plan.wire_rate_kbps;
+  outcome.delivered_qos = admitted->plan.delivered_qos;
+  outcome.wire_rate_kbps = admitted->plan.wire_rate_kbps;
   return outcome;
 }
 
@@ -440,7 +300,8 @@ std::string MediaDbSystem::ReportString() const {
       static_cast<unsigned long long>(stats_.submitted),
       static_cast<unsigned long long>(stats_.admitted),
       static_cast<unsigned long long>(stats_.rejected),
-      static_cast<unsigned long long>(stats_.completed), outstanding_);
+      static_cast<unsigned long long>(stats_.completed),
+      session_manager_.outstanding());
   std::string out(buf);
   out += "\nbuckets: " + pool_.DebugString();
   std::string bottleneck = qos_api_.BottleneckReport();
@@ -462,21 +323,19 @@ std::string MediaDbSystem::ReportString() const {
 }
 
 std::string MediaDbSystem::Explanation::ToString() const {
-  std::string out = "EXPLAIN: " + std::to_string(plans.size()) +
-                    " plans for logical OID " +
-                    std::to_string(content.value()) + "\n";
-  char buf[160];
-  int rank = 1;
-  for (const QualityManager::RankedPlan& entry : plans) {
-    std::snprintf(buf, sizeof(buf),
-                  "  %2d. cost=%.4f %-9s %6.1f KB/s  startup=%.1fs  %s\n",
-                  rank++, entry.cost,
-                  entry.admissible ? "admit" : "reject",
-                  entry.plan.wire_rate_kbps, entry.plan.startup_seconds,
-                  entry.plan.ToString().c_str());
-    out += buf;
+  return QualityManager::FormatPlanListing(content, plans);
+}
+
+Result<query::ParsedQuery> MediaDbSystem::ParseAndResolve(
+    std::string_view text, LogicalOid* content) const {
+  Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+  if (!parsed.ok()) return parsed;
+  std::vector<LogicalOid> matches = ResolveContent(*parsed);
+  if (matches.empty()) {
+    return Status::NotFound("no video matches the content predicate");
   }
-  return out;
+  *content = matches.front();
+  return parsed;
 }
 
 Result<MediaDbSystem::Explanation> MediaDbSystem::ExplainTextQuery(
@@ -484,14 +343,10 @@ Result<MediaDbSystem::Explanation> MediaDbSystem::ExplainTextQuery(
   if (quality_manager_ == nullptr) {
     return Status::FailedPrecondition("EXPLAIN requires QuaSAQ");
   }
-  Result<query::ParsedQuery> parsed = query::ParseQuery(text);
-  if (!parsed.ok()) return parsed.status();
-  std::vector<LogicalOid> matches = ResolveContent(*parsed);
-  if (matches.empty()) {
-    return Status::NotFound("no video matches the content predicate");
-  }
   Explanation explanation;
-  explanation.content = matches.front();
+  Result<query::ParsedQuery> parsed =
+      ParseAndResolve(text, &explanation.content);
+  if (!parsed.ok()) return parsed.status();
   Result<std::vector<QualityManager::RankedPlan>> plans =
       quality_manager_->ExplainPlans(client_site, explanation.content,
                                      parsed->qos, max_plans);
@@ -502,18 +357,13 @@ Result<MediaDbSystem::Explanation> MediaDbSystem::ExplainTextQuery(
 
 Result<MediaDbSystem::TextQueryOutcome> MediaDbSystem::SubmitTextQuery(
     SiteId client_site, std::string_view text, const UserProfile* profile) {
-  Result<query::ParsedQuery> parsed = query::ParseQuery(text);
+  TextQueryOutcome outcome;
+  Result<query::ParsedQuery> parsed = ParseAndResolve(text, &outcome.content);
   if (!parsed.ok()) return parsed.status();
   if (parsed->explain) {
     return Status::FailedPrecondition(
         "EXPLAIN queries must go through ExplainTextQuery");
   }
-  std::vector<LogicalOid> matches = ResolveContent(*parsed);
-  if (matches.empty()) {
-    return Status::NotFound("no video matches the content predicate");
-  }
-  TextQueryOutcome outcome;
-  outcome.content = matches.front();
   outcome.delivery =
       SubmitDelivery(client_site, outcome.content, parsed->qos, profile);
   return outcome;

@@ -5,7 +5,6 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/cache_manager.h"
@@ -14,6 +13,7 @@
 #include "core/cost_model.h"
 #include "core/qop.h"
 #include "core/quality_manager.h"
+#include "core/session_manager.h"
 #include "media/library.h"
 #include "metadata/distributed_engine.h"
 #include "net/topology.h"
@@ -40,6 +40,12 @@
 //  * kVdbmsQuasaq  — the full QuaSAQ stack: QoS-specific replicas,
 //                    plan generation, runtime cost evaluation, and
 //                    reservation through the Composite QoS API.
+//
+// MediaDbSystem is a thin facade: it translates each query into a
+// delivery decision for its configuration kind and delegates everything
+// else to the two layers below it — the planning stream inside
+// QualityManager (core/plan_stream.h) and the session lifecycle in
+// SessionManager (core/session_manager.h). See docs/ARCHITECTURE.md.
 //
 // Sessions are modeled at the session level here (admission +
 // timed completion); the frame-level QoS path of Figure 5 uses
@@ -114,8 +120,7 @@ class MediaDbSystem {
     uint64_t completed = 0;
   };
 
-  using SessionCompleteCallback =
-      std::function<void(SessionId, SimTime completion_time)>;
+  using SessionCompleteCallback = SessionManager::CompleteCallback;
 
   MediaDbSystem(sim::Simulator* simulator, const Options& options);
 
@@ -156,39 +161,48 @@ class MediaDbSystem {
 
   /// EXPLAIN path (QuaSAQ only): parse, resolve content, enumerate and
   /// rank the delivery plans without executing anything. Accepts the
-  /// query with or without the EXPLAIN prefix.
+  /// query with or without the EXPLAIN prefix. Enumeration stops once
+  /// `max_plans` entries have been yielded from the plan stream.
   Result<Explanation> ExplainTextQuery(SiteId client_site,
                                        std::string_view text,
                                        size_t max_plans = 10);
 
   /// Aborts a running session early, releasing its resources.
-  Status CancelSession(SessionId session);
+  Status CancelSession(SessionId session) {
+    return session_manager_.Cancel(session);
+  }
 
   /// Mid-playback QoS change (QuaSAQ only): re-plans the session's
   /// content under `new_qos` and renegotiates its reservation. The
   /// playback schedule is unchanged; only the delivered quality and the
-  /// reserved resources move. Fails with kFailedPrecondition on
-  /// non-QuaSAQ systems, kNotFound for unknown sessions; planner and
-  /// admission errors propagate, leaving the old reservation intact.
+  /// reserved resources move. A paused session can be re-planned too:
+  /// nothing is acquired until resume, which then re-admits the new
+  /// plan's resources. Fails with kFailedPrecondition on non-QuaSAQ
+  /// systems, kNotFound for unknown sessions; planner and admission
+  /// errors propagate, leaving the old reservation intact.
   Result<DeliveryOutcome> ChangeSessionQos(
       SessionId session, const query::QosRequirement& new_qos);
 
   /// User action: pauses a running session. Its reserved resources are
   /// released while paused (a paused stream sends nothing); playback
   /// time stops accruing.
-  Status PauseSession(SessionId session);
+  Status PauseSession(SessionId session) {
+    return session_manager_.Pause(session);
+  }
 
   /// User action: resumes a paused session — effectively a
   /// renegotiation, since the released resources must be re-admitted.
   /// Fails with kResourceExhausted when the system can no longer carry
   /// the stream; the session then stays paused.
-  Status ResumeSession(SessionId session);
+  Status ResumeSession(SessionId session) {
+    return session_manager_.Resume(session);
+  }
 
   void set_on_session_complete(SessionCompleteCallback callback) {
     on_session_complete_ = std::move(callback);
   }
 
-  int outstanding_sessions() const { return outstanding_; }
+  int outstanding_sessions() const { return session_manager_.outstanding(); }
   const Stats& stats() const { return stats_; }
   SystemKind kind() const { return options_.kind; }
 
@@ -202,44 +216,32 @@ class MediaDbSystem {
   std::string ReportString() const;
   meta::DistributedMetadataEngine& metadata() { return *metadata_; }
   QualityManager* quality_manager() { return quality_manager_.get(); }
+  /// The session lifecycle layer (session table, pause/resume state).
+  const SessionManager& session_manager() const { return session_manager_; }
   /// Non-null only when dynamic replication is enabled.
   repl::ReplicationManager* replication_manager() {
     return replication_manager_.get();
   }
   /// The storage manager of `site`; non-null only with replication on.
-  storage::StorageManager* storage_at(SiteId site);
+  storage::StorageManager* storage_at(SiteId site) {
+    for (auto& store : storage_) {
+      if (store->site() == site) return store.get();
+    }
+    return nullptr;
+  }
   /// Non-null only when segment caching is enabled (QuaSAQ only).
   cache::CacheManager* cache_manager() { return cache_manager_.get(); }
 
  private:
-  struct SessionRecord {
-    LogicalOid content;
-    SimTime start = 0;
-    res::ReservationId reservation = res::kInvalidReservationId;
-    double vdbms_kbps = 0.0;  // bitrate pinned on `site` (VDBMS only)
-    SiteId site;
-    // Pause/resume bookkeeping.
-    sim::EventId completion_event = sim::kInvalidEventId;
-    SimTime expected_end = 0;
-    bool paused = false;
-    SimTime remaining_at_pause = 0;
-    ResourceVector reserved_vector;  // for re-admission on resume
-  };
-
-  /// The master-quality replica of `content` stored at `site`
-  /// (every system kind can assume full replication).
-  const media::ReplicaInfo* MasterReplicaAt(LogicalOid content,
-                                            SiteId site) const;
-  /// The cheapest standard-ladder level whose quality satisfies `range`
-  /// as stored (no activities); -1 when only derived streams can.
-  int DesiredLadderLevel(const media::AppQosRange& range) const;
+  /// Parses `text` and resolves its content predicate to the first
+  /// matching logical OID (stored into `content`).
+  Result<query::ParsedQuery> ParseAndResolve(std::string_view text,
+                                             LogicalOid* content) const;
   DeliveryOutcome DeliverVdbms(SiteId site, LogicalOid content);
   DeliveryOutcome DeliverQosApi(SiteId site, LogicalOid content);
   DeliveryOutcome DeliverQuasaq(SiteId site, LogicalOid content,
                                 const query::QosRequirement& qos,
                                 const UserProfile* profile);
-  SessionId StartSession(SessionRecord record, double duration_seconds);
-  void CompleteSession(SessionId id);
 
   sim::Simulator* simulator_;
   Options options_;
@@ -248,17 +250,14 @@ class MediaDbSystem {
   query::ContentIndex content_index_;
   res::ResourcePool pool_;
   res::CompositeQosApi qos_api_;
+  SessionManager session_manager_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<QualityManager> quality_manager_;
   std::vector<std::unique_ptr<storage::StorageManager>> storage_;
   std::unique_ptr<repl::ReplicationManager> replication_manager_;
   std::unique_ptr<cache::CacheManager> cache_manager_;
 
-  int64_t next_session_ = 1;
-  int outstanding_ = 0;
   Stats stats_;
-  std::unordered_map<SessionId, SessionRecord> sessions_;
-  std::unordered_map<int64_t, double> vdbms_site_kbps_;  // site -> active
   SessionCompleteCallback on_session_complete_;
 };
 

@@ -53,6 +53,27 @@ const ReplicaInfo* VideoLibrary::FindReplica(PhysicalOid id) const {
   return nullptr;
 }
 
+const ReplicaInfo* VideoLibrary::MasterReplicaAt(LogicalOid content,
+                                                 SiteId site) const {
+  const ReplicaInfo* best = nullptr;
+  for (const ReplicaInfo& replica : replicas) {
+    if (replica.content != content || replica.site != site) continue;
+    if (best == nullptr || best->qos.resolution.PixelCount() <
+                               replica.qos.resolution.PixelCount()) {
+      best = &replica;
+    }
+  }
+  return best;
+}
+
+int QualityLadder::CheapestSatisfyingLevel(const AppQosRange& range) const {
+  for (int level = static_cast<int>(levels.size()) - 1; level >= 0;
+       --level) {
+    if (range.Contains(levels[static_cast<size_t>(level)])) return level;
+  }
+  return -1;
+}
+
 VideoLibrary BuildExperimentLibrary(const LibraryOptions& options,
                                     const std::vector<SiteId>& sites) {
   assert(options.num_videos > 0);

@@ -24,6 +24,11 @@ struct QualityLadder {
   /// The prototype's 4-level ladder: DVD-class MPEG-2, VCD-class MPEG-1,
   /// low-rate SIF MPEG-1, and a modem-class QCIF MPEG-1.
   static QualityLadder Standard();
+
+  /// The cheapest (lowest-bitrate, highest-index) level whose stored
+  /// quality lies inside `range`; -1 when no ladder level does and only
+  /// derived streams could satisfy it.
+  int CheapestSatisfyingLevel(const AppQosRange& range) const;
 };
 
 struct LibraryOptions {
@@ -48,6 +53,10 @@ struct VideoLibrary {
 
   /// Returns the replica with physical OID `id`, or nullptr.
   const ReplicaInfo* FindReplica(PhysicalOid id) const;
+
+  /// The master-quality (highest-resolution) replica of `content`
+  /// stored at `site`, or nullptr when the site holds no copy.
+  const ReplicaInfo* MasterReplicaAt(LogicalOid content, SiteId site) const;
 };
 
 /// Builds a library with `options.num_videos` logical objects whose

@@ -1,0 +1,340 @@
+#include "core/plan_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/quality_manager.h"
+#include "media/library.h"
+
+// The refactoring contract of the lazy best-first plan stream: it must
+// yield plans in bit-identical order to the eager materialize-and-sort
+// pipeline (same cost key, same tie-breaks), so switching
+// PlanGenerator::Options::lazy_enumeration can never change which plan
+// a query is served — only how much of the search space gets expanded.
+
+namespace quasaq::core {
+namespace {
+
+media::VideoContent MakeContent(int64_t oid) {
+  media::VideoContent content;
+  content.id = LogicalOid(oid);
+  content.title = "video" + std::to_string(oid);
+  content.duration_seconds = 60.0;
+  content.master_quality = media::QualityLadder::Standard().levels[0];
+  return content;
+}
+
+media::ReplicaInfo MakeReplica(int64_t oid, int64_t content, int site,
+                               int level) {
+  media::ReplicaInfo replica;
+  replica.id = PhysicalOid(oid);
+  replica.content = LogicalOid(content);
+  replica.site = SiteId(site);
+  replica.qos =
+      media::QualityLadder::Standard().levels[static_cast<size_t>(level)];
+  replica.duration_seconds = 60.0;
+  replica.frame_seed = static_cast<uint64_t>(oid);
+  media::FinalizeReplicaSizing(replica);
+  return replica;
+}
+
+query::QosRequirement WideQos() {
+  query::QosRequirement qos;
+  qos.range.min_frame_rate = 1.0;
+  return qos;
+}
+
+// Two-site search space mirroring the QualityManager tests: one logical
+// object, three ladder levels replicated on both sites.
+class PlanStreamTest : public ::testing::Test {
+ protected:
+  PlanStreamTest()
+      : sites_({SiteId(0), SiteId(1)}),
+        metadata_(sites_, meta::DistributedMetadataEngine::Options()) {
+    DeclareBuckets(pool_);
+    EXPECT_TRUE(metadata_.InsertContent(MakeContent(0)).ok());
+    int64_t oid = 0;
+    for (int site = 0; site < 2; ++site) {
+      for (int level = 0; level < 3; ++level) {
+        EXPECT_TRUE(
+            metadata_.InsertReplica(MakeReplica(oid++, 0, site, level)).ok());
+      }
+    }
+  }
+
+  void DeclareBuckets(res::ResourcePool& pool) {
+    for (SiteId site : sites_) {
+      pool.DeclareBucket({site, ResourceKind::kCpu}, 1.0);
+      pool.DeclareBucket({site, ResourceKind::kNetworkBandwidth}, 3200.0);
+      pool.DeclareBucket({site, ResourceKind::kDiskBandwidth}, 20000.0);
+      pool.DeclareBucket({site, ResourceKind::kMemory}, 1 << 20);
+    }
+  }
+
+  // The eager reference ranking and its per-plan keys.
+  std::vector<Plan> EagerRanking(PlanGenerator& generator,
+                                 const RuntimeCostEvaluator& evaluator,
+                                 const query::QosRequirement& qos,
+                                 const res::ResourcePool& pool) {
+    Result<std::vector<Plan>> plans =
+        generator.Generate(SiteId(0), LogicalOid(0), qos);
+    EXPECT_TRUE(plans.ok()) << plans.status().ToString();
+    evaluator.Rank(*plans, pool);
+    return std::move(*plans);
+  }
+
+  std::vector<SiteId> sites_;
+  meta::DistributedMetadataEngine metadata_;
+  res::ResourcePool pool_;
+  LrbCostModel lrb_;
+};
+
+TEST_F(PlanStreamTest, YieldsEveryPlanInEagerRankingOrder) {
+  PlanGenerator generator(&metadata_, sites_, PlanGenerator::Options());
+  RuntimeCostEvaluator evaluator(&lrb_);
+  query::QosRequirement qos = WideQos();
+  std::vector<Plan> eager = EagerRanking(generator, evaluator, qos, pool_);
+  ASSERT_FALSE(eager.empty());
+
+  PlanStream stream(&generator, &evaluator, &pool_, SiteId(0), LogicalOid(0),
+                    qos);
+  ASSERT_TRUE(stream.status().ok());
+  size_t i = 0;
+  while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
+    ASSERT_LT(i, eager.size());
+    EXPECT_EQ(ranked->plan.ToString(), eager[i].ToString()) << "rank " << i;
+    EXPECT_DOUBLE_EQ(ranked->cost, evaluator.EfficiencyCost(eager[i], pool_));
+    ++i;
+  }
+  EXPECT_EQ(i, eager.size());
+  EXPECT_EQ(stream.stats().plans_yielded, eager.size());
+  // Draining the stream expands everything — no pruning without an
+  // early-stopping consumer.
+  EXPECT_EQ(stream.groups_pruned(), 0u);
+}
+
+TEST_F(PlanStreamTest, OrderHoldsUnderLoadedPool) {
+  PlanGenerator generator(&metadata_, sites_, PlanGenerator::Options());
+  RuntimeCostEvaluator evaluator(&lrb_);
+  // Skew the pool so the ranking differs from the cold-pool one: site 0
+  // network is nearly full, site 0 disk half full.
+  ResourceVector used;
+  used.Add({SiteId(0), ResourceKind::kNetworkBandwidth}, 2900.0);
+  used.Add({SiteId(0), ResourceKind::kDiskBandwidth}, 10000.0);
+  ASSERT_TRUE(pool_.Acquire(used).ok());
+
+  query::QosRequirement qos = WideQos();
+  std::vector<Plan> eager = EagerRanking(generator, evaluator, qos, pool_);
+  PlanStream stream(&generator, &evaluator, &pool_, SiteId(0), LogicalOid(0),
+                    qos);
+  size_t i = 0;
+  while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
+    ASSERT_LT(i, eager.size());
+    EXPECT_EQ(ranked->plan.ToString(), eager[i].ToString()) << "rank " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, eager.size());
+}
+
+TEST_F(PlanStreamTest, StatefulRandomModelStillMatchesEagerOrder) {
+  // The Random model advances its RNG on every Cost() call, so the
+  // stream must fall back to expanding in exact eager call order (no
+  // sound lower bound exists). Two independently seeded model instances
+  // replay the same draw sequence.
+  PlanGenerator generator(&metadata_, sites_, PlanGenerator::Options());
+  RandomCostModel eager_model(7);
+  RandomCostModel stream_model(7);
+  RuntimeCostEvaluator eager_eval(&eager_model);
+  RuntimeCostEvaluator stream_eval(&stream_model);
+  EXPECT_FALSE(stream_eval.SupportsCostLowerBound());
+
+  query::QosRequirement qos = WideQos();
+  std::vector<Plan> eager = EagerRanking(generator, eager_eval, qos, pool_);
+  PlanStream stream(&generator, &stream_eval, &pool_, SiteId(0),
+                    LogicalOid(0), qos);
+  size_t i = 0;
+  while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
+    ASSERT_LT(i, eager.size());
+    EXPECT_EQ(ranked->plan.ToString(), eager[i].ToString()) << "rank " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, eager.size());
+}
+
+TEST_F(PlanStreamTest, GainFunctionDisablesTheBoundButNotTheOrder) {
+  PlanGenerator generator(&metadata_, sites_, PlanGenerator::Options());
+  RuntimeCostEvaluator evaluator(&lrb_);
+  query::QosRequirement qos = WideQos();
+  qos.range.min_frame_rate = 10.0;
+  evaluator.set_gain_function(
+      MakeSatisfactionGain(qos.range, UtilityWeights()));
+  EXPECT_FALSE(evaluator.SupportsCostLowerBound());
+
+  std::vector<Plan> eager = EagerRanking(generator, evaluator, qos, pool_);
+  PlanStream stream(&generator, &evaluator, &pool_, SiteId(0), LogicalOid(0),
+                    qos);
+  size_t i = 0;
+  while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
+    ASSERT_LT(i, eager.size());
+    EXPECT_EQ(ranked->plan.ToString(), eager[i].ToString()) << "rank " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, eager.size());
+}
+
+TEST_F(PlanStreamTest, UnknownContentFailsConstruction) {
+  PlanGenerator generator(&metadata_, sites_, PlanGenerator::Options());
+  RuntimeCostEvaluator evaluator(&lrb_);
+  PlanStream stream(&generator, &evaluator, &pool_, SiteId(0),
+                    LogicalOid(99), WideQos());
+  EXPECT_EQ(stream.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(stream.Next().has_value());
+}
+
+// Side-by-side QualityManagers — streamed vs eager — over identically
+// declared pools. Every scenario must produce the same admitted plan
+// (or the same rejection), and the pools must drift in lockstep.
+class StreamedVsEagerTest : public PlanStreamTest {
+ protected:
+  StreamedVsEagerTest()
+      : eager_api_(&eager_pool_), streamed_api_(&streamed_pool_) {
+    DeclareBuckets(eager_pool_);
+    DeclareBuckets(streamed_pool_);
+    QualityManager::Options eager_options;
+    eager_options.generator.lazy_enumeration = false;
+    eager_ = std::make_unique<QualityManager>(&metadata_, &eager_api_, &lrb_,
+                                              sites_, eager_options);
+    QualityManager::Options streamed_options;  // lazy is the default
+    streamed_ = std::make_unique<QualityManager>(
+        &metadata_, &streamed_api_, &lrb_, sites_, streamed_options);
+  }
+
+  void ExpectSameOutcome(const query::QosRequirement& qos,
+                         const UserProfile* profile = nullptr) {
+    Result<QualityManager::Admitted> eager =
+        eager_->AdmitQuery(SiteId(0), LogicalOid(0), qos, profile);
+    Result<QualityManager::Admitted> streamed =
+        streamed_->AdmitQuery(SiteId(0), LogicalOid(0), qos, profile);
+    ASSERT_EQ(eager.ok(), streamed.ok())
+        << "eager: " << eager.status().ToString()
+        << " streamed: " << streamed.status().ToString();
+    if (eager.ok()) {
+      EXPECT_EQ(eager->plan.ToString(), streamed->plan.ToString());
+      EXPECT_DOUBLE_EQ(eager->plan.wire_rate_kbps,
+                       streamed->plan.wire_rate_kbps);
+      EXPECT_EQ(eager->renegotiated, streamed->renegotiated);
+      EXPECT_DOUBLE_EQ(eager_pool_.MaxUtilization(),
+                       streamed_pool_.MaxUtilization());
+    } else {
+      EXPECT_EQ(eager.status().code(), streamed.status().code());
+    }
+  }
+
+  res::ResourcePool eager_pool_;
+  res::ResourcePool streamed_pool_;
+  res::CompositeQosApi eager_api_;
+  res::CompositeQosApi streamed_api_;
+  std::unique_ptr<QualityManager> eager_;
+  std::unique_ptr<QualityManager> streamed_;
+};
+
+TEST_F(StreamedVsEagerTest, AdmitsIdenticalPlansAcrossScenarios) {
+  // Wide-open QoS, repeated until the pools carry real load.
+  for (int i = 0; i < 4; ++i) ExpectSameOutcome(WideQos());
+  // Tight quality floor.
+  query::QosRequirement tight;
+  tight.range.min_frame_rate = 20.0;
+  tight.range.min_resolution = media::kResolutionVcd;
+  ExpectSameOutcome(tight);
+  // Security requested: encrypted activity sets join the space.
+  query::QosRequirement secure = WideQos();
+  secure.min_security = media::SecurityLevel::kStandard;
+  ExpectSameOutcome(secure);
+  // Unsatisfiable window rejects identically.
+  query::QosRequirement impossible;
+  impossible.range.min_frame_rate = 60.0;
+  ExpectSameOutcome(impossible);
+}
+
+TEST_F(StreamedVsEagerTest, RenegotiationMatchesEager) {
+  UserProfile profile(UserId(1), "user");
+  query::QosRequirement qos;
+  qos.range.min_resolution = media::kResolutionSvcd;
+  qos.range.min_color_depth_bits = 24;
+  qos.range.min_frame_rate = 20.0;
+  ResourceVector used;
+  for (SiteId site : sites_) {
+    used.Add({site, ResourceKind::kNetworkBandwidth}, 3000.0);
+  }
+  ASSERT_TRUE(eager_pool_.Acquire(used).ok());
+  ASSERT_TRUE(streamed_pool_.Acquire(used).ok());
+  ExpectSameOutcome(qos, &profile);
+  EXPECT_EQ(eager_->stats().renegotiated, streamed_->stats().renegotiated);
+}
+
+TEST_F(StreamedVsEagerTest, ExplainListingsAreIdentical) {
+  Result<std::vector<QualityManager::RankedPlan>> eager =
+      eager_->ExplainPlans(SiteId(0), LogicalOid(0), WideQos(), 8);
+  Result<std::vector<QualityManager::RankedPlan>> streamed =
+      streamed_->ExplainPlans(SiteId(0), LogicalOid(0), WideQos(), 8);
+  ASSERT_TRUE(eager.ok());
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(QualityManager::FormatPlanListing(LogicalOid(0), *eager),
+            QualityManager::FormatPlanListing(LogicalOid(0), *streamed));
+}
+
+TEST_F(StreamedVsEagerTest, StreamedMaterializesStrictlyFewerPlans) {
+  ExpectSameOutcome(WideQos());
+  // The eager path pays for the whole space on every query; the stream
+  // stops at the first admitted plan.
+  EXPECT_GT(eager_->stats().plans_generated, 0u);
+  EXPECT_LT(streamed_->stats().plans_generated,
+            eager_->stats().plans_generated);
+  EXPECT_GT(streamed_->stats().groups_pruned, 0u);
+  EXPECT_EQ(eager_->stats().groups_pruned, 0u);
+}
+
+// Satellite regression: ExplainPlans used to enumerate and rank the full
+// space before applying `limit`. With one plan per (replica, site) group
+// and a disk-dominated pool the group bound is exact, so the stream must
+// generate exactly `limit` plans — not the whole space.
+TEST(ExplainLimitTest, GenerationStopsAtTheLimit) {
+  std::vector<SiteId> sites = {SiteId(0)};
+  meta::DistributedMetadataEngine metadata(
+      sites, meta::DistributedMetadataEngine::Options());
+  ASSERT_TRUE(metadata.InsertContent(MakeContent(0)).ok());
+  // Four ladder levels at one site: four groups of exactly one plan
+  // each once dropping/transcoding/relay are off and no security is
+  // requested.
+  for (int level = 0; level < 4; ++level) {
+    ASSERT_TRUE(
+        metadata.InsertReplica(MakeReplica(level, 0, 0, level)).ok());
+  }
+  res::ResourcePool pool;
+  // Disk is the scarce bucket; everything else is effectively infinite,
+  // so the LRB cost of a plan equals its group's retrieval bound.
+  pool.DeclareBucket({SiteId(0), ResourceKind::kCpu}, 1e9);
+  pool.DeclareBucket({SiteId(0), ResourceKind::kNetworkBandwidth}, 1e9);
+  pool.DeclareBucket({SiteId(0), ResourceKind::kDiskBandwidth}, 2000.0);
+  pool.DeclareBucket({SiteId(0), ResourceKind::kMemory}, 1e12);
+  res::CompositeQosApi api(&pool);
+  LrbCostModel lrb;
+  QualityManager::Options options;
+  options.generator.enable_frame_dropping = false;
+  options.generator.enable_transcoding = false;
+  options.generator.enable_relay = false;
+  QualityManager manager(&metadata, &api, &lrb, sites, options);
+
+  const size_t limit = 2;
+  Result<std::vector<QualityManager::RankedPlan>> plans =
+      manager.ExplainPlans(SiteId(0), LogicalOid(0), WideQos(), limit);
+  ASSERT_TRUE(plans.ok()) << plans.status().ToString();
+  EXPECT_EQ(plans->size(), limit);
+  EXPECT_LE(manager.stats().plans_generated, limit);
+  EXPECT_EQ(manager.stats().groups_pruned, 4u - limit);
+}
+
+}  // namespace
+}  // namespace quasaq::core
