@@ -4,6 +4,7 @@
 // height wins (plan 2 in the figure).
 
 #include <cassert>
+#include <cstdlib>
 #include <cstdio>
 #include <vector>
 
@@ -43,7 +44,7 @@ int main() {
   BucketId r3{site, ResourceKind::kDiskBandwidth};
   BucketId r4{site, ResourceKind::kMemory};
   for (const BucketId& bucket : {r1, r2, r3, r4}) {
-    pool.DeclareBucket(bucket, 100.0);
+    if (!pool.DeclareBucket(bucket, 100.0).ok()) std::abort();
   }
   // Current usage (the gray fill of Fig 3d).
   ResourceVector used;

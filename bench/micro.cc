@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
 
 #include "common/resource_vector.h"
@@ -155,8 +156,9 @@ void BM_ResourcePoolAcquireRelease(benchmark::State& state) {
   res::ResourcePool pool;
   for (int site = 0; site < 3; ++site) {
     for (int kind = 0; kind < kNumResourceKinds; ++kind) {
-      pool.DeclareBucket({SiteId(site), static_cast<ResourceKind>(kind)},
-                         1000.0);
+      Status declared = pool.DeclareBucket(
+          {SiteId(site), static_cast<ResourceKind>(kind)}, 1000.0);
+      if (!declared.ok()) std::abort();
     }
   }
   ResourceVector demand;
@@ -166,7 +168,8 @@ void BM_ResourcePoolAcquireRelease(benchmark::State& state) {
   for (auto _ : state) {
     Status status = pool.Acquire(demand);
     benchmark::DoNotOptimize(status);
-    pool.Release(demand);
+    Status released = pool.Release(demand);
+    benchmark::DoNotOptimize(released);
   }
 }
 BENCHMARK(BM_ResourcePoolAcquireRelease);

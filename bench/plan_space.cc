@@ -14,6 +14,7 @@
 // buckets come from the paper-testbed server specs.
 
 #include <cassert>
+#include <cstdlib>
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -134,13 +135,14 @@ int main() {
   for (SiteId site : sites) {
     net::ServerSpec server;  // paper-testbed per-server capacities
     server.id = site;
-    pool.DeclareBucket({site, ResourceKind::kCpu}, 1.0);
-    pool.DeclareBucket({site, ResourceKind::kNetworkBandwidth},
-                       server.outbound_kbps);
-    pool.DeclareBucket({site, ResourceKind::kDiskBandwidth}, server.disk_kbps);
-    pool.DeclareBucket({site, ResourceKind::kMemory}, server.memory_kb);
-    pool.DeclareBucket({site, ResourceKind::kMemoryBandwidth},
-                       server.memory_bandwidth_kbps);
+    auto declare = [&pool, site](ResourceKind kind, double capacity) {
+      if (!pool.DeclareBucket({site, kind}, capacity).ok()) std::abort();
+    };
+    declare(ResourceKind::kCpu, 1.0);
+    declare(ResourceKind::kNetworkBandwidth, server.outbound_kbps);
+    declare(ResourceKind::kDiskBandwidth, server.disk_kbps);
+    declare(ResourceKind::kMemory, server.memory_kb);
+    declare(ResourceKind::kMemoryBandwidth, server.memory_bandwidth_kbps);
   }
   res::CompositeQosApi api(&pool);
   core::LrbCostModel lrb;

@@ -56,7 +56,7 @@ void CacheManager::EraseReplica(PhysicalOid replica) {
 SegmentCache::Counters CacheManager::TotalCounters() const {
   SegmentCache::Counters total;
   for (const auto& cache : caches_) {
-    const SegmentCache::Counters& c = cache->counters();
+    const SegmentCache::Counters c = cache->counters();
     total.hits += c.hits;
     total.misses += c.misses;
     total.inserts += c.inserts;

@@ -16,6 +16,15 @@
 // answers the planner's admission-time warmth queries. It implements the
 // read-only CacheView interface that the Plan Generator consults to emit
 // cache-served plan variants without depending on the cache machinery.
+//
+// Thread-safe by construction: the manager's own state (the site list
+// and the cache array) is immutable after the constructor, so it needs
+// no lock of its own — concurrency control lives entirely in the
+// per-site SegmentCache locks, letting accesses on different sites
+// proceed in parallel. A streamed session (OnStream) is a sequence of
+// per-segment critical sections, not one atomic operation; concurrent
+// streams on the same site interleave at segment granularity, exactly
+// like the read-through cache it models.
 
 namespace quasaq::cache {
 
@@ -69,6 +78,7 @@ class CacheManager : public CacheView {
   std::string ReportString() const;
 
  private:
+  // All three are immutable after construction (see class comment).
   std::vector<SiteId> sites_;
   Options options_;
   std::vector<std::unique_ptr<SegmentCache>> caches_;  // parallel to sites_

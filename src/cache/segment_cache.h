@@ -8,6 +8,7 @@
 
 #include "common/ids.h"
 #include "common/sim_time.h"
+#include "common/sync.h"
 #include "cache/eviction.h"
 #include "cache/segment.h"
 
@@ -18,6 +19,13 @@
 // the caller-supplied simulated clock, so cache contents — and therefore
 // hit/miss sequences — are a deterministic function of the access
 // sequence.
+//
+// Thread-safe: this is the per-site lock of the cache subsystem. One
+// mutex guards the segment table, the per-replica byte accounting, and
+// the hit/miss counters, so concurrent readers, fills, and evictions on
+// one site serialize here while different sites proceed in parallel
+// (CacheManager holds no lock of its own). SegmentCache::mu_ is a leaf
+// lock: nothing else is acquired while it is held.
 
 namespace quasaq::cache {
 
@@ -61,54 +69,72 @@ class SegmentCache {
   /// resident, touching its recency/popularity; on a miss the segment is
   /// filled in (unless larger than the cache), evicting as needed. All
   /// counters are charged.
-  bool Access(const SegmentKey& key, double size_kb, SimTime now);
+  bool Access(const SegmentKey& key, double size_kb, SimTime now)
+      QUASAQ_EXCLUDES(mu_);
 
   /// Inserts without hit/miss accounting (warm-up / prefetch). Returns
   /// false when the segment cannot be admitted. Re-inserting a resident
   /// segment only touches it.
-  bool Insert(const SegmentKey& key, double size_kb, SimTime now);
+  bool Insert(const SegmentKey& key, double size_kb, SimTime now)
+      QUASAQ_EXCLUDES(mu_);
 
   /// Residency check with no side effects (the planner's admission-time
   /// peek must not distort recency or the hit ratio).
-  bool Contains(const SegmentKey& key) const;
+  bool Contains(const SegmentKey& key) const QUASAQ_EXCLUDES(mu_);
 
   /// Drops one segment if resident.
-  void Erase(const SegmentKey& key);
+  void Erase(const SegmentKey& key) QUASAQ_EXCLUDES(mu_);
 
   /// Invalidates every segment of `replica` (e.g. after the replica is
   /// evicted from storage). Returns the number of segments dropped.
   /// Not charged as evictions — nothing was displaced by pressure.
-  size_t EraseReplica(PhysicalOid replica);
+  size_t EraseReplica(PhysicalOid replica) QUASAQ_EXCLUDES(mu_);
 
   /// Total resident KB of `replica`'s segments.
-  double CachedKbOf(PhysicalOid replica) const;
+  double CachedKbOf(PhysicalOid replica) const QUASAQ_EXCLUDES(mu_);
 
   /// Number of resident segments of `replica`.
-  int CachedSegmentsOf(PhysicalOid replica) const;
+  int CachedSegmentsOf(PhysicalOid replica) const QUASAQ_EXCLUDES(mu_);
 
-  double used_kb() const { return used_kb_; }
+  double used_kb() const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return used_kb_;
+  }
   double capacity_kb() const { return options_.capacity_kb; }
-  size_t segment_count() const { return segments_.size(); }
-  const Counters& counters() const { return counters_; }
+  size_t segment_count() const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return segments_.size();
+  }
+  /// Snapshot of the counters (by value: the struct is shared state).
+  Counters counters() const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return counters_;
+  }
   std::string_view policy_name() const { return policy_->name(); }
 
   /// One-line operator report: policy, fill, hit ratio.
-  std::string ReportString() const;
+  std::string ReportString() const QUASAQ_EXCLUDES(mu_);
 
  private:
-  void Touch(SegmentMeta& meta, SimTime now);
+  void Touch(SegmentMeta& meta, SimTime now) QUASAQ_REQUIRES(mu_);
   // Evicts lowest-scored segments until `needed_kb` fits. Returns false
   // when the cache cannot make enough room (needed_kb > capacity).
-  bool EvictFor(double needed_kb, SimTime now);
+  bool EvictFor(double needed_kb, SimTime now) QUASAQ_REQUIRES(mu_);
+  // Lock-assuming body of Insert, shared with the Access miss path.
+  bool InsertLocked(const SegmentKey& key, double size_kb, SimTime now)
+      QUASAQ_REQUIRES(mu_);
 
-  Options options_;
-  std::unique_ptr<EvictionPolicy> policy_;
-  std::unordered_map<SegmentKey, SegmentMeta> segments_;
+  Options options_;                         // immutable after construction
+  std::unique_ptr<EvictionPolicy> policy_;  // immutable after construction
+  mutable Mutex mu_;
+  std::unordered_map<SegmentKey, SegmentMeta> segments_
+      QUASAQ_GUARDED_BY(mu_);
   // Resident KB per replica, for O(1) warmth lookups by the planner.
-  std::unordered_map<PhysicalOid, double> replica_kb_;
-  std::unordered_map<PhysicalOid, int> replica_segments_;
-  double used_kb_ = 0.0;
-  Counters counters_;
+  std::unordered_map<PhysicalOid, double> replica_kb_ QUASAQ_GUARDED_BY(mu_);
+  std::unordered_map<PhysicalOid, int> replica_segments_
+      QUASAQ_GUARDED_BY(mu_);
+  double used_kb_ QUASAQ_GUARDED_BY(mu_) = 0.0;
+  Counters counters_ QUASAQ_GUARDED_BY(mu_);
 };
 
 }  // namespace quasaq::cache

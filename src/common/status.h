@@ -31,7 +31,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 // Result of a fallible operation: a code plus an optional message.
 // The OK status carries no message and is cheap to copy.
-class Status {
+//
+// [[nodiscard]]: silently dropping a Status hides admission failures
+// and accounting bugs; a caller that genuinely cannot act on an error
+// must say so with an explicit `(void)` cast next to a reason.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -82,7 +86,7 @@ class Status {
 // Either a value of type T or a non-OK Status explaining its absence.
 // Accessors assert on misuse; check ok() first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -1,0 +1,132 @@
+#ifndef QUASAQ_COMMON_SYNC_H_
+#define QUASAQ_COMMON_SYNC_H_
+
+#include <condition_variable>
+#include <mutex>
+
+// Synchronization primitives carrying Clang thread-safety annotations
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html). Locking
+// discipline is declared in the types — which mutex guards which member
+// (GUARDED_BY), which helper assumes the lock (REQUIRES) — and Clang's
+// `-Wthread-safety` turns a violation into a compile error instead of a
+// flaky benchmark. On non-Clang compilers every annotation expands to
+// nothing and the wrappers are thin veneers over <mutex>.
+//
+// The annotated subsystems, their locks, and the lock ordering are
+// documented in docs/ARCHITECTURE.md ("Threading model").
+
+#if defined(__clang__) && !defined(SWIG)
+#define QUASAQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define QUASAQ_THREAD_ANNOTATION_(x)  // no-op
+#endif
+
+// The type is a capability (a lock).
+#define QUASAQ_CAPABILITY(x) QUASAQ_THREAD_ANNOTATION_(capability(x))
+// The type is an RAII object acquiring a capability for its lifetime.
+#define QUASAQ_SCOPED_CAPABILITY QUASAQ_THREAD_ANNOTATION_(scoped_lockable)
+// The member may only be read/written while holding the given lock.
+#define QUASAQ_GUARDED_BY(x) QUASAQ_THREAD_ANNOTATION_(guarded_by(x))
+// The pointed-to data (not the pointer) is guarded by the given lock.
+#define QUASAQ_PT_GUARDED_BY(x) QUASAQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+// The function acquires / releases the listed capabilities.
+#define QUASAQ_ACQUIRE(...) \
+  QUASAQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define QUASAQ_RELEASE(...) \
+  QUASAQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define QUASAQ_TRY_ACQUIRE(...) \
+  QUASAQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+// The caller must already hold the listed capabilities.
+#define QUASAQ_REQUIRES(...) \
+  QUASAQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+// The caller must NOT hold the listed capabilities (deadlock guard for
+// public entry points that take the lock themselves).
+#define QUASAQ_EXCLUDES(...) \
+  QUASAQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+// The function returns a reference to the given capability.
+#define QUASAQ_RETURN_CAPABILITY(x) \
+  QUASAQ_THREAD_ANNOTATION_(lock_returned(x))
+// Runtime assertion that the capability is held (informs the analysis).
+#define QUASAQ_ASSERT_CAPABILITY(x) \
+  QUASAQ_THREAD_ANNOTATION_(assert_capability(x))
+// Escape hatch: disable the analysis for one function.
+#define QUASAQ_NO_THREAD_SAFETY_ANALYSIS \
+  QUASAQ_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace quasaq {
+
+// Annotated mutual-exclusion lock. Non-reentrant: a thread acquiring a
+// Mutex it already holds deadlocks (Clang's analysis rejects the
+// attempt at compile time via EXCLUDES on the public entry points).
+class QUASAQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() QUASAQ_ACQUIRE() { mu_.lock(); }
+  void Unlock() QUASAQ_RELEASE() { mu_.unlock(); }
+  bool TryLock() QUASAQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// No-op at runtime; tells the analysis the lock is held (for
+  /// callbacks invoked from contexts the analysis cannot see).
+  void AssertHeld() const QUASAQ_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock for a scope. The annotation transfers the capability to the
+// guard object, so every guarded access inside the scope type-checks.
+class QUASAQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) QUASAQ_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() QUASAQ_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable over a Mutex. The Mutex is a parameter of Wait —
+// not bound at construction — because Clang's analysis matches
+// capability expressions syntactically: REQUIRES(mu) on the parameter
+// unifies with whatever lock expression the caller actually holds,
+// whereas a stored `cv.mu_` never would. Wait() adopts the already-held
+// Mutex into a std::unique_lock (the standard wait protocol) and
+// releases the adoption before returning, so the caller's discipline —
+// hold the Mutex across the wait — is undisturbed.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and blocks until notified; `mu` is
+  /// re-held on return. Spurious wakeups are possible — use Await.
+  void Wait(Mutex* mu) QUASAQ_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Waits until `pred()` holds, re-checking after every wakeup.
+  template <typename Predicate>
+  void Await(Mutex* mu, Predicate pred) QUASAQ_REQUIRES(mu) {
+    while (!pred()) Wait(mu);
+  }
+
+  void Signal() { cv_.notify_one(); }
+  void SignalAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace quasaq
+
+#endif  // QUASAQ_COMMON_SYNC_H_

@@ -14,6 +14,7 @@ SessionManager::SessionManager(sim::Simulator* simulator,
 }
 
 SessionId SessionManager::Start(Record record, double duration_seconds) {
+  MutexLock lock(&mu_);
   SessionId id(next_session_++);
   record.start = simulator_->Now();
   record.expected_end =
@@ -34,11 +35,13 @@ SessionId SessionManager::Start(Record record, double duration_seconds) {
 }
 
 const SessionManager::Record* SessionManager::Find(SessionId session) const {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session);
   return it == sessions_.end() ? nullptr : &it->second;
 }
 
 double SessionManager::vdbms_active_kbps(SiteId site) const {
+  MutexLock lock(&mu_);
   auto it = vdbms_site_kbps_.find(site);
   return it == vdbms_site_kbps_.end() ? 0.0 : it->second;
 }
@@ -50,6 +53,7 @@ void SessionManager::UnpinVdbms(const Record& record) {
 }
 
 Status SessionManager::Pause(SessionId session) {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) return Status::NotFound("no such session");
   Record& record = it->second;
@@ -72,6 +76,7 @@ Status SessionManager::Pause(SessionId session) {
 }
 
 Status SessionManager::Resume(SessionId session) {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) return Status::NotFound("no such session");
   Record& record = it->second;
@@ -97,6 +102,7 @@ Status SessionManager::Resume(SessionId session) {
 }
 
 Status SessionManager::Cancel(SessionId session) {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) return Status::NotFound("no such session");
   const Record& record = it->second;
@@ -115,6 +121,7 @@ Status SessionManager::Cancel(SessionId session) {
 Status SessionManager::AdoptRenegotiatedPlan(SessionId session,
                                              SiteId delivery_site,
                                              const ResourceVector& resources) {
+  MutexLock lock(&mu_);
   auto it = sessions_.find(session);
   if (it == sessions_.end()) return Status::NotFound("no such session");
   Record& record = it->second;
@@ -124,19 +131,29 @@ Status SessionManager::AdoptRenegotiatedPlan(SessionId session,
 }
 
 void SessionManager::Complete(SessionId id) {
-  auto it = sessions_.find(id);
-  if (it == sessions_.end()) return;  // cancelled earlier
-  const Record& record = it->second;
-  if (record.reservation != res::kInvalidReservationId) {
-    Status status = qos_api_->Release(record.reservation);
-    assert(status.ok());
-    (void)status;
+  CompleteCallback callback;
+  SimTime completed_at = 0;
+  {
+    MutexLock lock(&mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;  // cancelled earlier
+    const Record& record = it->second;
+    if (record.reservation != res::kInvalidReservationId) {
+      Status status = qos_api_->Release(record.reservation);
+      assert(status.ok());
+      (void)status;
+    }
+    UnpinVdbms(record);
+    sessions_.erase(it);
+    --outstanding_;
+    ++completed_;
+    callback = on_complete_;
+    completed_at = simulator_->Now();
   }
-  UnpinVdbms(record);
-  sessions_.erase(it);
-  --outstanding_;
-  ++completed_;
-  if (on_complete_) on_complete_(id, simulator_->Now());
+  // Invoke outside the lock: the facade's completion hook (and user
+  // callbacks behind it) may re-enter this manager, e.g. to cancel or
+  // start a follow-up session.
+  if (callback) callback(id, completed_at);
 }
 
 }  // namespace quasaq::core

@@ -9,6 +9,7 @@
 #include "common/resource_vector.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "resource/composite_api.h"
 #include "simcore/simulator.h"
 
@@ -25,6 +26,19 @@
 // Isolating this bookkeeping from placement/planning logic is the
 // prerequisite for sharding the session table (see docs/ARCHITECTURE.md
 // and ROADMAP.md).
+//
+// Thread-safe: one annotated mutex guards the session table and every
+// piece of bookkeeping, so concurrent Start/Pause/Resume/Cancel calls
+// serialize and the release-exactly-once invariant holds under any
+// interleaving. The simulator is only touched while mu_ is held, which
+// makes its event queue safe against concurrent session mutations — but
+// *driving* the simulator (Step/RunAll) must not overlap with session
+// calls from other threads; the clock itself stays single-threaded.
+// Lock order: SessionManager::mu_ → CompositeQosApi::mu_ →
+// ResourcePool::mu_ (docs/ARCHITECTURE.md "Threading model"). The one
+// mutex is the seam for per-site sharding: Record is keyed by SiteId,
+// so splitting the table into per-site shards each with this lock is a
+// local change.
 
 namespace quasaq::core {
 
@@ -52,56 +66,68 @@ class SessionManager {
   /// Registers a delivery and schedules its completion. Captures the
   /// reservation's resource vector (when one is held) so resume can
   /// re-admit it, and pins `record.vdbms_kbps` on the record's site.
-  SessionId Start(Record record, double duration_seconds);
+  SessionId Start(Record record, double duration_seconds)
+      QUASAQ_EXCLUDES(mu_);
 
   /// Pauses a running session. Its reserved resources are released
   /// while paused (a paused stream sends nothing); playback time stops
   /// accruing.
-  Status Pause(SessionId session);
+  Status Pause(SessionId session) QUASAQ_EXCLUDES(mu_);
 
   /// Resumes a paused session — effectively a renegotiation, since the
   /// released resources must be re-admitted. Fails with
   /// kResourceExhausted when the system can no longer carry the stream;
   /// the session then stays paused, its resources still released.
-  Status Resume(SessionId session);
+  Status Resume(SessionId session) QUASAQ_EXCLUDES(mu_);
 
   /// Aborts a session early, releasing whatever it still holds.
-  Status Cancel(SessionId session);
+  Status Cancel(SessionId session) QUASAQ_EXCLUDES(mu_);
 
   /// Re-points a session at a renegotiated delivery: the new delivery
   /// site and the resource vector resume must re-admit. The reservation
   /// handle itself is unchanged (renegotiation swaps it in place); for
   /// paused sessions nothing is acquired until Resume.
   Status AdoptRenegotiatedPlan(SessionId session, SiteId delivery_site,
-                               const ResourceVector& resources);
+                               const ResourceVector& resources)
+      QUASAQ_EXCLUDES(mu_);
 
-  /// The session's record, or nullptr. Invalidated by any mutation.
-  const Record* Find(SessionId session) const;
+  /// The session's record, or nullptr. Invalidated by any mutation, so
+  /// only serialized callers (the single-threaded driver, tests) may
+  /// hold the pointer; concurrent observers must copy what they need.
+  const Record* Find(SessionId session) const QUASAQ_EXCLUDES(mu_);
 
   /// Active VDBMS-pinned bitrate currently streaming from `site`.
-  double vdbms_active_kbps(SiteId site) const;
+  double vdbms_active_kbps(SiteId site) const QUASAQ_EXCLUDES(mu_);
 
-  int outstanding() const { return outstanding_; }
-  uint64_t completed() const { return completed_; }
+  int outstanding() const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return outstanding_;
+  }
+  uint64_t completed() const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return completed_;
+  }
 
-  void set_on_complete(CompleteCallback callback) {
+  void set_on_complete(CompleteCallback callback) QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     on_complete_ = std::move(callback);
   }
 
  private:
-  void Complete(SessionId id);
+  void Complete(SessionId id) QUASAQ_EXCLUDES(mu_);
   // Returns the session's pinned VDBMS bitrate to its site (no-op for
   // reservation-backed sessions).
-  void UnpinVdbms(const Record& record);
+  void UnpinVdbms(const Record& record) QUASAQ_REQUIRES(mu_);
 
-  sim::Simulator* simulator_;
-  res::CompositeQosApi* qos_api_;
-  int64_t next_session_ = 1;
-  int outstanding_ = 0;
-  uint64_t completed_ = 0;
-  std::unordered_map<SessionId, Record> sessions_;
-  std::unordered_map<SiteId, double> vdbms_site_kbps_;
-  CompleteCallback on_complete_;
+  sim::Simulator* simulator_;    // set at construction, never reassigned
+  res::CompositeQosApi* qos_api_;  // likewise
+  mutable Mutex mu_;
+  int64_t next_session_ QUASAQ_GUARDED_BY(mu_) = 1;
+  int outstanding_ QUASAQ_GUARDED_BY(mu_) = 0;
+  uint64_t completed_ QUASAQ_GUARDED_BY(mu_) = 0;
+  std::unordered_map<SessionId, Record> sessions_ QUASAQ_GUARDED_BY(mu_);
+  std::unordered_map<SiteId, double> vdbms_site_kbps_ QUASAQ_GUARDED_BY(mu_);
+  CompleteCallback on_complete_ QUASAQ_GUARDED_BY(mu_);
 };
 
 }  // namespace quasaq::core

@@ -33,17 +33,21 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
   });
 
   // Resource buckets: one CPU / net / disk / memory bucket per server.
+  // Topology validation guarantees positive capacities; a violation here
+  // is a construction bug, not a runtime condition.
+  auto declare = [this](const BucketId& bucket, double capacity) {
+    Status declared = pool_.DeclareBucket(bucket, capacity);
+    assert(declared.ok());
+    (void)declared;
+  };
   for (const net::ServerSpec& server : options_.topology.servers) {
-    pool_.DeclareBucket({server.id, ResourceKind::kCpu},
-                        options_.cpu_capacity);
-    pool_.DeclareBucket({server.id, ResourceKind::kNetworkBandwidth},
-                        server.outbound_kbps);
-    pool_.DeclareBucket({server.id, ResourceKind::kDiskBandwidth},
-                        server.disk_kbps);
-    pool_.DeclareBucket({server.id, ResourceKind::kMemory},
-                        server.memory_kb);
-    pool_.DeclareBucket({server.id, ResourceKind::kMemoryBandwidth},
-                        server.memory_bandwidth_kbps);
+    declare({server.id, ResourceKind::kCpu}, options_.cpu_capacity);
+    declare({server.id, ResourceKind::kNetworkBandwidth},
+            server.outbound_kbps);
+    declare({server.id, ResourceKind::kDiskBandwidth}, server.disk_kbps);
+    declare({server.id, ResourceKind::kMemory}, server.memory_kb);
+    declare({server.id, ResourceKind::kMemoryBandwidth},
+            server.memory_bandwidth_kbps);
   }
 
   // Metadata: contents, replicas and sampled QoS profiles.

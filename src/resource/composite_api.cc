@@ -22,6 +22,7 @@ void CompositeQosApi::AccountAttempt(const ResourceVector& demand,
 }
 
 std::string CompositeQosApi::BottleneckReport() const {
+  MutexLock lock(&mu_);
   const char* worst = nullptr;
   uint64_t worst_denials = 0;
   uint64_t total_denials = 0;
@@ -50,6 +51,7 @@ bool CompositeQosApi::Admissible(const ResourceVector& demand) const {
 }
 
 Result<ReservationId> CompositeQosApi::Reserve(const ResourceVector& demand) {
+  MutexLock lock(&mu_);
   Status status = pool_->Acquire(demand);
   AccountAttempt(demand, status.ok());
   if (!status.ok()) {
@@ -63,26 +65,33 @@ Result<ReservationId> CompositeQosApi::Reserve(const ResourceVector& demand) {
 }
 
 Status CompositeQosApi::Release(ReservationId id) {
+  MutexLock lock(&mu_);
   auto it = reservations_.find(id);
   if (it == reservations_.end()) {
     return Status::NotFound("unknown reservation");
   }
-  pool_->Release(it->second);
+  // A failed pool release means the reservation table and the usage
+  // vectors disagree — surface it instead of reporting a clean release.
+  Status released = pool_->Release(it->second);
   reservations_.erase(it);
   ++stats_.released;
-  return Status::Ok();
+  return released;
 }
 
 Status CompositeQosApi::Renegotiate(ReservationId id,
                                     const ResourceVector& new_demand) {
+  MutexLock lock(&mu_);
   auto it = reservations_.find(id);
   if (it == reservations_.end()) {
     return Status::NotFound("unknown reservation");
   }
   // Tentatively release the old demand, then try the new one; restore on
   // failure so a failed renegotiation leaves the session running at its
-  // previously agreed quality.
-  pool_->Release(it->second);
+  // previously agreed quality. mu_ is held throughout, so no other
+  // reservation can slip into the momentarily freed capacity.
+  Status freed = pool_->Release(it->second);
+  assert(freed.ok());
+  (void)freed;
   Status status = pool_->Acquire(new_demand);
   if (!status.ok()) {
     Status restored = pool_->Acquire(it->second);
@@ -97,6 +106,7 @@ Status CompositeQosApi::Renegotiate(ReservationId id,
 }
 
 const ResourceVector* CompositeQosApi::Find(ReservationId id) const {
+  MutexLock lock(&mu_);
   auto it = reservations_.find(id);
   return it == reservations_.end() ? nullptr : &it->second;
 }

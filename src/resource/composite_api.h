@@ -6,6 +6,7 @@
 
 #include "common/resource_vector.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "resource/pool.h"
 
 // Composite QoS API (paper §3.5): the single entry point that hides the
@@ -13,6 +14,13 @@
 // interface offering the three operations QoS control needs —
 // admission control, resource reservation, and renegotiation.
 // Reservations are all-or-nothing across every bucket a plan touches.
+//
+// Thread-safe: one mutex guards the reservation table and the
+// admission/denial statistics. The pool's own leaf lock is acquired
+// while this one is held (lock order: CompositeQosApi::mu_ →
+// ResourcePool::mu_, see docs/ARCHITECTURE.md), which keeps
+// release-then-acquire renegotiation atomic with respect to other
+// reservations.
 
 namespace quasaq::res {
 
@@ -47,22 +55,33 @@ class CompositeQosApi {
 
   /// Reserves `demand` for the lifetime of a delivery job. On success
   /// the buckets are charged and a reservation handle is returned.
-  Result<ReservationId> Reserve(const ResourceVector& demand);
+  Result<ReservationId> Reserve(const ResourceVector& demand)
+      QUASAQ_EXCLUDES(mu_);
 
   /// Releases a reservation completely.
-  Status Release(ReservationId id);
+  Status Release(ReservationId id) QUASAQ_EXCLUDES(mu_);
 
   /// Renegotiation: atomically replaces the reservation's demand with
   /// `new_demand` (used when the user changes QoS mid-playback or a
   /// degraded plan is adopted). On failure the old reservation stands.
-  Status Renegotiate(ReservationId id, const ResourceVector& new_demand);
+  Status Renegotiate(ReservationId id, const ResourceVector& new_demand)
+      QUASAQ_EXCLUDES(mu_);
 
-  /// Returns the reserved vector for `id`, or nullptr.
-  const ResourceVector* Find(ReservationId id) const;
+  /// Returns the reserved vector for `id`, or nullptr. The pointee is
+  /// stable until the reservation is released or renegotiated; callers
+  /// that cannot rule out a concurrent release must copy immediately.
+  const ResourceVector* Find(ReservationId id) const QUASAQ_EXCLUDES(mu_);
 
-  size_t active_reservations() const { return reservations_.size(); }
-  const Stats& stats() const { return stats_; }
-  const KindStats& kind_stats(ResourceKind kind) const {
+  size_t active_reservations() const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return reservations_.size();
+  }
+  Stats stats() const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  KindStats kind_stats(ResourceKind kind) const QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return kind_stats_[static_cast<size_t>(kind)];
   }
   const ResourcePool& pool() const { return *pool_; }
@@ -70,17 +89,20 @@ class CompositeQosApi {
   /// The resource kind that vetoed the most reservations so far, or
   /// empty when nothing has been denied — the operator's first answer
   /// to "what do we buy more of?".
-  std::string BottleneckReport() const;
+  std::string BottleneckReport() const QUASAQ_EXCLUDES(mu_);
 
  private:
   // Charges per-kind request/denial accounting for one attempt.
-  void AccountAttempt(const ResourceVector& demand, bool admitted);
+  void AccountAttempt(const ResourceVector& demand, bool admitted)
+      QUASAQ_REQUIRES(mu_);
 
-  ResourcePool* pool_;
-  ReservationId next_id_ = 1;
-  std::unordered_map<ReservationId, ResourceVector> reservations_;
-  Stats stats_;
-  KindStats kind_stats_[kNumResourceKinds] = {};
+  ResourcePool* pool_;  // set at construction, never reassigned
+  mutable Mutex mu_;
+  ReservationId next_id_ QUASAQ_GUARDED_BY(mu_) = 1;
+  std::unordered_map<ReservationId, ResourceVector> reservations_
+      QUASAQ_GUARDED_BY(mu_);
+  Stats stats_ QUASAQ_GUARDED_BY(mu_);
+  KindStats kind_stats_[kNumResourceKinds] QUASAQ_GUARDED_BY(mu_) = {};
 };
 
 }  // namespace quasaq::res

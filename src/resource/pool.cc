@@ -1,7 +1,6 @@
 #include "resource/pool.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 
 namespace quasaq::res {
@@ -11,32 +10,41 @@ namespace {
 constexpr double kSlack = 1e-9;
 }  // namespace
 
-void ResourcePool::DeclareBucket(const BucketId& bucket, double capacity) {
-  assert(capacity > 0.0);
+Status ResourcePool::DeclareBucket(const BucketId& bucket, double capacity) {
+  if (capacity <= 0.0) {
+    return Status::InvalidArgument("bucket " + BucketIdToString(bucket) +
+                                   " declared with non-positive capacity");
+  }
+  MutexLock lock(&mu_);
   buckets_[bucket].capacity = capacity;
+  return Status::Ok();
 }
 
 bool ResourcePool::HasBucket(const BucketId& bucket) const {
+  MutexLock lock(&mu_);
   return buckets_.count(bucket) > 0;
 }
 
 double ResourcePool::Capacity(const BucketId& bucket) const {
+  MutexLock lock(&mu_);
   auto it = buckets_.find(bucket);
   return it == buckets_.end() ? 0.0 : it->second.capacity;
 }
 
 double ResourcePool::Used(const BucketId& bucket) const {
+  MutexLock lock(&mu_);
   auto it = buckets_.find(bucket);
   return it == buckets_.end() ? 0.0 : it->second.used;
 }
 
 double ResourcePool::Utilization(const BucketId& bucket) const {
+  MutexLock lock(&mu_);
   auto it = buckets_.find(bucket);
   if (it == buckets_.end() || it->second.capacity <= 0.0) return 0.0;
   return it->second.used / it->second.capacity;
 }
 
-bool ResourcePool::Fits(const ResourceVector& demand) const {
+bool ResourcePool::FitsLocked(const ResourceVector& demand) const {
   for (const ResourceVector::Entry& e : demand.entries()) {
     auto it = buckets_.find(e.bucket);
     if (it == buckets_.end()) return false;
@@ -47,14 +55,20 @@ bool ResourcePool::Fits(const ResourceVector& demand) const {
   return true;
 }
 
+bool ResourcePool::Fits(const ResourceVector& demand) const {
+  MutexLock lock(&mu_);
+  return FitsLocked(demand);
+}
+
 Status ResourcePool::Acquire(const ResourceVector& demand) {
+  MutexLock lock(&mu_);
   for (const ResourceVector::Entry& e : demand.entries()) {
     if (buckets_.count(e.bucket) == 0) {
       return Status::NotFound("undeclared bucket " +
                               BucketIdToString(e.bucket));
     }
   }
-  if (!Fits(demand)) {
+  if (!FitsLocked(demand)) {
     return Status::ResourceExhausted("bucket would overflow");
   }
   for (const ResourceVector::Entry& e : demand.entries()) {
@@ -63,10 +77,21 @@ Status ResourcePool::Acquire(const ResourceVector& demand) {
   return Status::Ok();
 }
 
-void ResourcePool::Release(const ResourceVector& demand) {
+Status ResourcePool::Release(const ResourceVector& demand) {
+  MutexLock lock(&mu_);
+  Status status = Status::Ok();
   for (const ResourceVector::Entry& e : demand.entries()) {
     auto it = buckets_.find(e.bucket);
-    if (it == buckets_.end()) continue;
+    if (it == buckets_.end()) {
+      status = Status::FailedPrecondition("release touches undeclared bucket " +
+                                          BucketIdToString(e.bucket));
+      continue;
+    }
+    if (e.amount > it->second.used + it->second.capacity * kSlack) {
+      status = Status::FailedPrecondition(
+          "over-release on bucket " + BucketIdToString(e.bucket) +
+          " (usage clamped to zero)");
+    }
     it->second.used = std::max(0.0, it->second.used - e.amount);
     // Snap accumulated floating-point residue to a clean zero; real
     // reservations are many orders of magnitude above this.
@@ -74,9 +99,10 @@ void ResourcePool::Release(const ResourceVector& demand) {
       it->second.used = 0.0;
     }
   }
+  return status;
 }
 
-std::vector<BucketId> ResourcePool::Buckets() const {
+std::vector<BucketId> ResourcePool::BucketsLocked() const {
   std::vector<BucketId> out;
   out.reserve(buckets_.size());
   for (const auto& [id, state] : buckets_) out.push_back(id);
@@ -84,7 +110,13 @@ std::vector<BucketId> ResourcePool::Buckets() const {
   return out;
 }
 
+std::vector<BucketId> ResourcePool::Buckets() const {
+  MutexLock lock(&mu_);
+  return BucketsLocked();
+}
+
 double ResourcePool::MaxUtilization() const {
+  MutexLock lock(&mu_);
   double max_util = 0.0;
   for (const auto& [id, state] : buckets_) {
     if (state.capacity <= 0.0) continue;
@@ -94,11 +126,16 @@ double ResourcePool::MaxUtilization() const {
 }
 
 std::string ResourcePool::DebugString() const {
+  MutexLock lock(&mu_);
   std::string out;
-  for (const BucketId& id : Buckets()) {
+  for (const BucketId& id : BucketsLocked()) {
+    auto it = buckets_.find(id);
+    double util = it->second.capacity > 0.0
+                      ? it->second.used / it->second.capacity
+                      : 0.0;
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%s=%.2f ",
-                  BucketIdToString(id).c_str(), Utilization(id));
+                  BucketIdToString(id).c_str(), util);
     out += buf;
   }
   if (!out.empty()) out.pop_back();

@@ -7,48 +7,63 @@
 
 #include "common/resource_vector.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 // Registry of the system's resource buckets: each (site, kind) bucket
 // has a fixed capacity R_i and a current usage U_i. This is the state
 // the LRB cost model reads ("the height of the filled part of bucket i
 // is the percentage of resource i being used", paper §3.4) and the
 // state admission control mutates.
+//
+// Thread-safe: one mutex guards the whole bucket table, so concurrent
+// AdmitQuery calls cost plans against a consistent usage snapshot and
+// Acquire stays all-or-nothing under contention. ResourcePool::mu_ is a
+// leaf lock in the system's lock order (docs/ARCHITECTURE.md).
 
 namespace quasaq::res {
 
 class ResourcePool {
  public:
   /// Declares a bucket with capacity `capacity` (> 0). Re-declaring an
-  /// existing bucket resets its capacity but keeps its usage.
-  void DeclareBucket(const BucketId& bucket, double capacity);
+  /// existing bucket resets its capacity but keeps its usage. Fails
+  /// with kInvalidArgument on a non-positive capacity (nothing is
+  /// declared).
+  Status DeclareBucket(const BucketId& bucket, double capacity)
+      QUASAQ_EXCLUDES(mu_);
 
-  bool HasBucket(const BucketId& bucket) const;
-  double Capacity(const BucketId& bucket) const;
-  double Used(const BucketId& bucket) const;
+  bool HasBucket(const BucketId& bucket) const QUASAQ_EXCLUDES(mu_);
+  double Capacity(const BucketId& bucket) const QUASAQ_EXCLUDES(mu_);
+  double Used(const BucketId& bucket) const QUASAQ_EXCLUDES(mu_);
 
   /// U_i / R_i for one bucket, in [0, 1] under normal operation.
-  double Utilization(const BucketId& bucket) const;
+  double Utilization(const BucketId& bucket) const QUASAQ_EXCLUDES(mu_);
 
   /// True when every entry of `demand` fits: U_i + r_i <= R_i for all
-  /// touched buckets (and every touched bucket is declared).
-  bool Fits(const ResourceVector& demand) const;
+  /// touched buckets (and every touched bucket is declared). Advisory
+  /// under concurrency: usage may move between this check and a later
+  /// Acquire, which re-validates atomically.
+  bool Fits(const ResourceVector& demand) const QUASAQ_EXCLUDES(mu_);
 
   /// Atomically adds `demand` to usage. Fails with kResourceExhausted
   /// (nothing is changed) when any bucket would overflow, and
   /// kNotFound when `demand` touches an undeclared bucket.
-  Status Acquire(const ResourceVector& demand);
+  Status Acquire(const ResourceVector& demand) QUASAQ_EXCLUDES(mu_);
 
-  /// Subtracts `demand` from usage (clamped at zero).
-  void Release(const ResourceVector& demand);
+  /// Subtracts `demand` from usage. Usage never goes negative: an
+  /// over-release is clamped to zero and reported as
+  /// kFailedPrecondition (as is a release touching an undeclared
+  /// bucket) so accounting bugs surface in release builds instead of
+  /// silently corrupting the usage vectors the cost model reads.
+  Status Release(const ResourceVector& demand) QUASAQ_EXCLUDES(mu_);
 
   /// All declared buckets in a stable order (sorted by id).
-  std::vector<BucketId> Buckets() const;
+  std::vector<BucketId> Buckets() const QUASAQ_EXCLUDES(mu_);
 
   /// The highest utilization across all declared buckets.
-  double MaxUtilization() const;
+  double MaxUtilization() const QUASAQ_EXCLUDES(mu_);
 
   /// Renders a one-line fill report, e.g. "site0/cpu=0.42 ...".
-  std::string DebugString() const;
+  std::string DebugString() const QUASAQ_EXCLUDES(mu_);
 
  private:
   struct BucketState {
@@ -56,7 +71,12 @@ class ResourcePool {
     double used = 0.0;
   };
 
-  std::unordered_map<BucketId, BucketState> buckets_;
+  // Lock-assuming bodies of the public entry points above.
+  bool FitsLocked(const ResourceVector& demand) const QUASAQ_REQUIRES(mu_);
+  std::vector<BucketId> BucketsLocked() const QUASAQ_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::unordered_map<BucketId, BucketState> buckets_ QUASAQ_GUARDED_BY(mu_);
 };
 
 }  // namespace quasaq::res

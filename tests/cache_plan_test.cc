@@ -183,11 +183,11 @@ TEST_F(CachePlanTest, EvaluatorPrefersCachedVariantWhenDiskIsHot) {
   FinalizePlan(cached, replica_, PlanCostConstants{});
 
   res::ResourcePool pool;
-  pool.DeclareBucket({SiteId(0), ResourceKind::kCpu}, 1.0);
-  pool.DeclareBucket({SiteId(0), ResourceKind::kNetworkBandwidth}, 8000.0);
-  pool.DeclareBucket({SiteId(0), ResourceKind::kDiskBandwidth}, 2500.0);
-  pool.DeclareBucket({SiteId(0), ResourceKind::kMemory}, 1024.0 * 1024.0);
-  pool.DeclareBucket({SiteId(0), ResourceKind::kMemoryBandwidth}, 200000.0);
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kCpu}, 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kNetworkBandwidth}, 8000.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kDiskBandwidth}, 2500.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kMemory}, 1024.0 * 1024.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kMemoryBandwidth}, 200000.0).ok());
   // Load the disk bucket close to capacity: the LRB cost of the
   // disk-served plan spikes, the cache-served one is unaffected.
   ResourceVector load;

@@ -13,8 +13,8 @@ BucketId Net(int site) {
 class CompositeQosApiTest : public ::testing::Test {
  protected:
   CompositeQosApiTest() : api_(&pool_) {
-    pool_.DeclareBucket(Cpu(0), 1.0);
-    pool_.DeclareBucket(Net(0), 100.0);
+    EXPECT_TRUE(pool_.DeclareBucket(Cpu(0), 1.0).ok());
+    EXPECT_TRUE(pool_.DeclareBucket(Net(0), 100.0).ok());
   }
 
   ResourceVector Demand(double cpu, double net) {

@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "cache/cache_manager.h"
+#include "cache/segment_cache.h"
+#include "common/rng.h"
+#include "core/session_manager.h"
+#include "resource/composite_api.h"
+#include "resource/pool.h"
+#include "simcore/simulator.h"
+
+// Multi-threaded stress tests for the subsystems that carry thread-safety
+// annotations (src/common/sync.h): ResourcePool, CompositeQosApi,
+// SegmentCache/CacheManager, and SessionManager. These are the tests the
+// `tsan` CI leg runs under -fsanitize=thread — the annotations promise
+// the locking discipline is *declared* correctly; TSan on these
+// interleavings checks the declarations describe reality.
+//
+// The simulator clock stays single-threaded throughout (see the
+// SessionManager header): worker threads mutate sessions while the
+// clock stands still, and RunAll happens after every thread has joined.
+
+namespace quasaq {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 400;
+
+BucketId Net(int site) {
+  return {SiteId(site), ResourceKind::kNetworkBandwidth};
+}
+
+TEST(ConcurrencyStressTest, PoolAcquireReleaseNeverCorruptsUsage) {
+  res::ResourcePool pool;
+  for (int site = 0; site < 4; ++site) {
+    ASSERT_TRUE(pool.DeclareBucket(Net(site), 1000.0).ok());
+  }
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, &admitted, &rejected, t] {
+      Rng rng(1000 + t);
+      for (int i = 0; i < kIterations; ++i) {
+        ResourceVector demand;
+        demand.Add(Net(static_cast<int>(rng.UniformInt(0, 3))),
+                   rng.Uniform(1.0, 400.0));
+        if (pool.Acquire(demand).ok()) {
+          ++admitted;
+          // The snapshot any concurrent reader costs against is
+          // internally consistent: usage never exceeds capacity.
+          EXPECT_LE(pool.MaxUtilization(), 1.0 + 1e-9);
+          ASSERT_TRUE(pool.Release(demand).ok());
+        } else {
+          ++rejected;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted + rejected, uint64_t{kThreads} * kIterations);
+  // Every admitted demand was released: the pool drains to zero.
+  for (int site = 0; site < 4; ++site) {
+    EXPECT_NEAR(pool.Used(Net(site)), 0.0, 1e-6);
+  }
+}
+
+TEST(ConcurrencyStressTest, CompositeApiReserveReleaseBalances) {
+  res::ResourcePool pool;
+  ASSERT_TRUE(pool.DeclareBucket(Net(0), 500.0).ok());
+  res::CompositeQosApi api(&pool);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&api, t] {
+      Rng rng(2000 + t);
+      std::vector<res::ReservationId> held;
+      for (int i = 0; i < kIterations; ++i) {
+        if (!held.empty() && rng.Bernoulli(0.5)) {
+          EXPECT_TRUE(api.Release(held.back()).ok());
+          held.pop_back();
+        } else {
+          ResourceVector demand;
+          demand.Add(Net(0), rng.Uniform(1.0, 60.0));
+          Result<res::ReservationId> r = api.Reserve(demand);
+          if (r.ok()) held.push_back(*r);
+        }
+      }
+      for (res::ReservationId id : held) {
+        EXPECT_TRUE(api.Release(id).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(api.active_reservations(), 0u);
+  EXPECT_NEAR(pool.Used(Net(0)), 0.0, 1e-6);
+  res::CompositeQosApi::Stats stats = api.stats();
+  EXPECT_EQ(stats.admitted, stats.released);
+}
+
+TEST(ConcurrencyStressTest, SegmentCacheReadsFillsAndEvictions) {
+  // Tiny capacity: fills, evictions, and rejections all exercised.
+  cache::SegmentCache segment_cache(
+      {.capacity_kb = 64.0, .policy = "lru", .popularity_half_life = 0});
+  std::atomic<uint64_t> accesses{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&segment_cache, &accesses, t] {
+      Rng rng(3000 + t);
+      for (int i = 0; i < kIterations; ++i) {
+        PhysicalOid replica(static_cast<int>(rng.UniformInt(0, 3)));
+        cache::SegmentKey key{replica,
+                              static_cast<int32_t>(rng.UniformInt(0, 15))};
+        double roll = rng.Uniform(0.0, 1.0);
+        if (roll < 0.70) {
+          segment_cache.Access(key, 4.0, SimTime(i) * kSecond);
+          ++accesses;
+        } else if (roll < 0.80) {
+          segment_cache.Contains(key);  // planner peek, no side effects
+        } else if (roll < 0.90) {
+          EXPECT_GE(segment_cache.CachedKbOf(replica), 0.0);
+        } else if (roll < 0.95) {
+          segment_cache.Erase(key);
+        } else {
+          segment_cache.EraseReplica(replica);
+        }
+        EXPECT_LE(segment_cache.used_kb(),
+                  segment_cache.capacity_kb() + 1e-9);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  cache::SegmentCache::Counters counters = segment_cache.counters();
+  EXPECT_EQ(counters.hits + counters.misses, accesses.load());
+  EXPECT_LE(segment_cache.used_kb(), segment_cache.capacity_kb() + 1e-9);
+}
+
+TEST(ConcurrencyStressTest, CacheManagerParallelSitesAndInvalidation) {
+  std::vector<SiteId> sites = {SiteId(0), SiteId(1), SiteId(2), SiteId(3)};
+  cache::CacheManager::Options options;
+  options.cache.capacity_kb = 512.0;
+  options.cache.policy = "utility";
+  cache::CacheManager manager(sites, options);
+
+  std::vector<media::ReplicaInfo> replicas(6);
+  for (size_t r = 0; r < replicas.size(); ++r) {
+    replicas[r].id = PhysicalOid(static_cast<int64_t>(r));
+    replicas[r].content = LogicalOid(static_cast<int64_t>(r));
+    replicas[r].site = sites[r % sites.size()];
+    replicas[r].duration_seconds = 40.0;
+    replicas[r].bitrate_kbps = 16.0;
+    replicas[r].size_kb = 640.0;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&manager, &replicas, &sites, t] {
+      Rng rng(4000 + t);
+      for (int i = 0; i < kIterations / 4; ++i) {
+        const media::ReplicaInfo& replica =
+            replicas[rng.UniformInt(0, static_cast<int>(replicas.size()) - 1)];
+        SiteId site = sites[rng.UniformInt(0, 3)];
+        double roll = rng.Uniform(0.0, 1.0);
+        if (roll < 0.6) {
+          manager.OnStream(site, replica, SimTime(i) * kSecond);
+        } else if (roll < 0.9) {
+          double fraction = manager.CachedFraction(site, replica);
+          EXPECT_GE(fraction, 0.0);
+          EXPECT_LE(fraction, 1.0);
+        } else {
+          manager.EraseReplica(replica.id);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (SiteId site : sites) {
+    const cache::SegmentCache* c = manager.at(site);
+    ASSERT_NE(c, nullptr);
+    EXPECT_LE(c->used_kb(), c->capacity_kb() + 1e-9);
+  }
+  cache::SegmentCache::Counters total = manager.TotalCounters();
+  EXPECT_GT(total.hits + total.misses, 0u);
+}
+
+// The pause/resume interleaving stress: threads start, pause, resume and
+// cancel sessions concurrently while the simulated clock stands still;
+// the release-exactly-once invariant must survive every interleaving.
+TEST(ConcurrencyStressTest, SessionLifecycleInterleavings) {
+  constexpr int kSessionsPerThread = 24;
+  sim::Simulator simulator;
+  res::ResourcePool pool;
+  // Big enough that every Start and every Resume re-admission fits:
+  // the invariant under test is bookkeeping, not admission pressure.
+  ASSERT_TRUE(
+      pool.DeclareBucket(Net(0), 1e9).ok());
+  res::CompositeQosApi api(&pool);
+  core::SessionManager manager(&simulator, &api);
+  std::atomic<uint64_t> completions{0};
+  manager.set_on_complete(
+      [&completions](SessionId, SimTime) { ++completions; });
+
+  // Phase 1: concurrent admissions (reservation-backed and VDBMS-pinned
+  // sessions mixed).
+  std::vector<std::vector<SessionId>> started(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(5000 + t);
+        for (int i = 0; i < kSessionsPerThread; ++i) {
+          core::SessionManager::Record record;
+          record.content = LogicalOid(i);
+          record.site = SiteId(0);
+          if (rng.Bernoulli(0.7)) {
+            ResourceVector demand;
+            demand.Add(Net(0), rng.Uniform(100.0, 900.0));
+            Result<res::ReservationId> r = api.Reserve(demand);
+            ASSERT_TRUE(r.ok());
+            record.reservation = *r;
+          } else {
+            record.vdbms_kbps = rng.Uniform(100.0, 900.0);
+          }
+          started[t].push_back(
+              manager.Start(record, rng.Uniform(10.0, 120.0)));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  ASSERT_EQ(manager.outstanding(), kThreads * kSessionsPerThread);
+
+  // Phase 2: concurrent pause/resume/cancel, each thread also poking
+  // sessions owned by its neighbor so transitions genuinely contend.
+  std::atomic<uint64_t> cancelled{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng rng(6000 + t);
+        const std::vector<SessionId>& mine = started[t];
+        const std::vector<SessionId>& neighbor =
+            started[(t + 1) % kThreads];
+        for (int i = 0; i < kIterations; ++i) {
+          const std::vector<SessionId>& from =
+              rng.Bernoulli(0.8) ? mine : neighbor;
+          SessionId id =
+              from[rng.UniformInt(0, static_cast<int>(from.size()) - 1)];
+          double roll = rng.Uniform(0.0, 1.0);
+          Status status = Status::Ok();
+          if (roll < 0.40) {
+            status = manager.Pause(id);
+          } else if (roll < 0.80) {
+            status = manager.Resume(id);
+          } else if (roll < 0.85) {
+            if (manager.Cancel(id).ok()) ++cancelled;
+            continue;
+          } else {
+            (void)manager.vdbms_active_kbps(SiteId(0));
+            continue;
+          }
+          // Losing a race is legal (already paused / running / gone);
+          // resource exhaustion is not — capacity covers everything.
+          EXPECT_NE(status.code(), StatusCode::kResourceExhausted)
+              << status.ToString();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Drain: resume whatever is still paused, then run the clock out.
+  for (const std::vector<SessionId>& ids : started) {
+    for (SessionId id : ids) {
+      const core::SessionManager::Record* record = manager.Find(id);
+      if (record != nullptr && record->paused) {
+        EXPECT_TRUE(manager.Resume(id).ok());
+      }
+    }
+  }
+  simulator.RunAll();
+
+  EXPECT_EQ(manager.outstanding(), 0);
+  EXPECT_EQ(completions.load() + cancelled.load(),
+            uint64_t{kThreads} * kSessionsPerThread);
+  EXPECT_EQ(manager.completed(), completions.load());
+  // Release-exactly-once: every reservation returned, every VDBMS pin
+  // unwound, the pool fully drained.
+  EXPECT_EQ(api.active_reservations(), 0u);
+  EXPECT_NEAR(pool.Used(Net(0)), 0.0, 1e-3);
+  EXPECT_DOUBLE_EQ(manager.vdbms_active_kbps(SiteId(0)), 0.0);
+}
+
+}  // namespace
+}  // namespace quasaq

@@ -12,17 +12,17 @@ BucketId Net(int site) {
   return {SiteId(site), ResourceKind::kNetworkBandwidth};
 }
 
-res::ResourcePool TwoSitePool() {
-  res::ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
-  pool.DeclareBucket(Net(0), 100.0);
-  pool.DeclareBucket(Cpu(1), 1.0);
-  pool.DeclareBucket(Net(1), 100.0);
-  return pool;
+// ResourcePool owns a mutex and is pinned in place; fill in situ.
+void FillTwoSitePool(res::ResourcePool& pool) {
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Net(0), 100.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(1), 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Net(1), 100.0).ok());
 }
 
 TEST(LrbCostModelTest, EmptySystemCostEqualsLargestDemandFill) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   LrbCostModel lrb;
   ResourceVector demand;
   demand.Add(Cpu(0), 0.2);
@@ -31,7 +31,8 @@ TEST(LrbCostModelTest, EmptySystemCostEqualsLargestDemandFill) {
 }
 
 TEST(LrbCostModelTest, IncludesCurrentUsage) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   ResourceVector used;
   used.Add(Cpu(1), 0.7);
   ASSERT_TRUE(pool.Acquire(used).ok());
@@ -47,7 +48,8 @@ TEST(LrbCostModelTest, IncludesCurrentUsage) {
 }
 
 TEST(LrbCostModelTest, PrefersLoadBalancingPlacement) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   ResourceVector used;
   used.Add(Net(0), 60.0);
   ASSERT_TRUE(pool.Acquire(used).ok());
@@ -61,7 +63,8 @@ TEST(LrbCostModelTest, PrefersLoadBalancingPlacement) {
 
 TEST(LrbCostModelTest, MatchesPaperFormula) {
   // f(r) = max_i (U_i + r_i) / R_i over all buckets (paper Eq. 1).
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   ResourceVector used;
   used.Add(Cpu(0), 0.30);
   used.Add(Net(0), 42.0);
@@ -75,7 +78,8 @@ TEST(LrbCostModelTest, MatchesPaperFormula) {
 }
 
 TEST(RandomCostModelTest, DeterministicGivenSeed) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   ResourceVector demand;
   RandomCostModel a(5);
   RandomCostModel b(5);
@@ -85,7 +89,8 @@ TEST(RandomCostModelTest, DeterministicGivenSeed) {
 }
 
 TEST(RandomCostModelTest, IgnoresDemand) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   RandomCostModel model(5);
   ResourceVector heavy;
   heavy.Add(Cpu(0), 0.99);
@@ -97,7 +102,8 @@ TEST(RandomCostModelTest, IgnoresDemand) {
 }
 
 TEST(MinTotalCostModelTest, SumsNormalizedDemand) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   MinTotalCostModel model;
   ResourceVector demand;
   demand.Add(Cpu(0), 0.2);
@@ -111,7 +117,8 @@ TEST(MinTotalCostModelTest, SumsNormalizedDemand) {
 }
 
 TEST(WeightedSumCostModelTest, PenalizesHotBucketsQuadratically) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   ResourceVector used;
   used.Add(Net(0), 60.0);
   ASSERT_TRUE(pool.Acquire(used).ok());
@@ -146,7 +153,8 @@ Plan PlanWithDemand(double cpu0, double net0, double cpu1 = 0.0) {
 }
 
 TEST(RuntimeCostEvaluatorTest, RanksAscendingByCost) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   LrbCostModel lrb;
   RuntimeCostEvaluator evaluator(&lrb);
   std::vector<Plan> plans;
@@ -160,7 +168,8 @@ TEST(RuntimeCostEvaluatorTest, RanksAscendingByCost) {
 }
 
 TEST(RuntimeCostEvaluatorTest, TieBreaksOnTotalDemand) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   // Pre-load site 1 so it dominates every LRB cost identically.
   ResourceVector used;
   used.Add(Cpu(1), 0.9);
@@ -175,7 +184,8 @@ TEST(RuntimeCostEvaluatorTest, TieBreaksOnTotalDemand) {
 }
 
 TEST(RuntimeCostEvaluatorTest, GainDividesCost) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   LrbCostModel lrb;
   RuntimeCostEvaluator evaluator(&lrb);
   // Gain = delivered quality: mark one plan as twice as valuable.
@@ -190,7 +200,8 @@ TEST(RuntimeCostEvaluatorTest, GainDividesCost) {
 }
 
 TEST(RuntimeCostEvaluatorTest, EmptyAndSingleInputsAreFine) {
-  res::ResourcePool pool = TwoSitePool();
+  res::ResourcePool pool;
+  FillTwoSitePool(pool);
   LrbCostModel lrb;
   RuntimeCostEvaluator evaluator(&lrb);
   std::vector<Plan> empty;

@@ -66,10 +66,10 @@ class PlanStreamTest : public ::testing::Test {
 
   void DeclareBuckets(res::ResourcePool& pool) {
     for (SiteId site : sites_) {
-      pool.DeclareBucket({site, ResourceKind::kCpu}, 1.0);
-      pool.DeclareBucket({site, ResourceKind::kNetworkBandwidth}, 3200.0);
-      pool.DeclareBucket({site, ResourceKind::kDiskBandwidth}, 20000.0);
-      pool.DeclareBucket({site, ResourceKind::kMemory}, 1 << 20);
+      ASSERT_TRUE(pool.DeclareBucket({site, ResourceKind::kCpu}, 1.0).ok());
+      ASSERT_TRUE(pool.DeclareBucket({site, ResourceKind::kNetworkBandwidth}, 3200.0).ok());
+      ASSERT_TRUE(pool.DeclareBucket({site, ResourceKind::kDiskBandwidth}, 20000.0).ok());
+      ASSERT_TRUE(pool.DeclareBucket({site, ResourceKind::kMemory}, 1 << 20).ok());
     }
   }
 
@@ -315,10 +315,10 @@ TEST(ExplainLimitTest, GenerationStopsAtTheLimit) {
   res::ResourcePool pool;
   // Disk is the scarce bucket; everything else is effectively infinite,
   // so the LRB cost of a plan equals its group's retrieval bound.
-  pool.DeclareBucket({SiteId(0), ResourceKind::kCpu}, 1e9);
-  pool.DeclareBucket({SiteId(0), ResourceKind::kNetworkBandwidth}, 1e9);
-  pool.DeclareBucket({SiteId(0), ResourceKind::kDiskBandwidth}, 2000.0);
-  pool.DeclareBucket({SiteId(0), ResourceKind::kMemory}, 1e12);
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kCpu}, 1e9).ok());
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kNetworkBandwidth}, 1e9).ok());
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kDiskBandwidth}, 2000.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket({SiteId(0), ResourceKind::kMemory}, 1e12).ok());
   res::CompositeQosApi api(&pool);
   LrbCostModel lrb;
   QualityManager::Options options;

@@ -13,7 +13,7 @@ BucketId Net(int site) {
 TEST(ResourcePoolTest, DeclareAndQuery) {
   ResourcePool pool;
   EXPECT_FALSE(pool.HasBucket(Cpu(0)));
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   EXPECT_TRUE(pool.HasBucket(Cpu(0)));
   EXPECT_DOUBLE_EQ(pool.Capacity(Cpu(0)), 1.0);
   EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
@@ -22,8 +22,8 @@ TEST(ResourcePoolTest, DeclareAndQuery) {
 
 TEST(ResourcePoolTest, AcquireChargesBuckets) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
-  pool.DeclareBucket(Net(0), 3200.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Net(0), 3200.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.25);
   demand.Add(Net(0), 800.0);
@@ -34,8 +34,8 @@ TEST(ResourcePoolTest, AcquireChargesBuckets) {
 
 TEST(ResourcePoolTest, AcquireIsAtomicOnOverflow) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
-  pool.DeclareBucket(Net(0), 100.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Net(0), 100.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.5);
   demand.Add(Net(0), 150.0);  // overflows net
@@ -47,7 +47,7 @@ TEST(ResourcePoolTest, AcquireIsAtomicOnOverflow) {
 
 TEST(ResourcePoolTest, UndeclaredBucketIsNotFound) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   ResourceVector demand;
   demand.Add(Net(0), 1.0);
   EXPECT_EQ(pool.Acquire(demand).code(), StatusCode::kNotFound);
@@ -56,7 +56,7 @@ TEST(ResourcePoolTest, UndeclaredBucketIsNotFound) {
 
 TEST(ResourcePoolTest, FitsChecksWithoutCharging) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.9);
   EXPECT_TRUE(pool.Fits(demand));
@@ -67,7 +67,7 @@ TEST(ResourcePoolTest, FitsChecksWithoutCharging) {
 
 TEST(ResourcePoolTest, ExactFillIsAccepted) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 1.0);
   EXPECT_TRUE(pool.Acquire(demand).ok());
@@ -76,27 +76,29 @@ TEST(ResourcePoolTest, ExactFillIsAccepted) {
 
 TEST(ResourcePoolTest, ReleaseRestoresCapacity) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.6);
   ASSERT_TRUE(pool.Acquire(demand).ok());
-  pool.Release(demand);
+  EXPECT_TRUE(pool.Release(demand).ok());
   EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
   ASSERT_TRUE(pool.Acquire(demand).ok());
 }
 
 TEST(ResourcePoolTest, ReleaseClampsAtZero) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.6);
-  pool.Release(demand);  // never acquired
+  // An over-release is clamped *and* reported.
+  EXPECT_EQ(pool.Release(demand).code(),  // never acquired
+            StatusCode::kFailedPrecondition);
   EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.0);
 }
 
 TEST(ResourcePoolTest, RepeatedAcquireAccumulates) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.4);
   ASSERT_TRUE(pool.Acquire(demand).ok());
@@ -107,9 +109,9 @@ TEST(ResourcePoolTest, RepeatedAcquireAccumulates) {
 
 TEST(ResourcePoolTest, BucketsReturnsSortedIds) {
   ResourcePool pool;
-  pool.DeclareBucket(Net(1), 1.0);
-  pool.DeclareBucket(Cpu(0), 1.0);
-  pool.DeclareBucket(Cpu(1), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Net(1), 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(1), 1.0).ok());
   auto buckets = pool.Buckets();
   ASSERT_EQ(buckets.size(), 3u);
   EXPECT_EQ(buckets[0], Cpu(0));
@@ -119,8 +121,8 @@ TEST(ResourcePoolTest, BucketsReturnsSortedIds) {
 
 TEST(ResourcePoolTest, MaxUtilizationTracksHottestBucket) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
-  pool.DeclareBucket(Net(0), 100.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
+  ASSERT_TRUE(pool.DeclareBucket(Net(0), 100.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.2);
   demand.Add(Net(0), 70.0);
@@ -130,18 +132,18 @@ TEST(ResourcePoolTest, MaxUtilizationTracksHottestBucket) {
 
 TEST(ResourcePoolTest, DebugStringListsBuckets) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   std::string s = pool.DebugString();
   EXPECT_NE(s.find("site0/cpu"), std::string::npos);
 }
 
 TEST(ResourcePoolTest, RedeclareKeepsUsage) {
   ResourcePool pool;
-  pool.DeclareBucket(Cpu(0), 1.0);
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 1.0).ok());
   ResourceVector demand;
   demand.Add(Cpu(0), 0.5);
   ASSERT_TRUE(pool.Acquire(demand).ok());
-  pool.DeclareBucket(Cpu(0), 2.0);  // capacity upgrade
+  ASSERT_TRUE(pool.DeclareBucket(Cpu(0), 2.0).ok());  // capacity upgrade
   EXPECT_DOUBLE_EQ(pool.Used(Cpu(0)), 0.5);
   EXPECT_DOUBLE_EQ(pool.Utilization(Cpu(0)), 0.25);
 }

@@ -28,7 +28,7 @@ TEST_P(LrbPropertyTest, CostBoundsAndMonotonicity) {
   for (int site = 0; site < 3; ++site) {
     for (int kind = 0; kind < kNumResourceKinds; ++kind) {
       BucketId bucket{SiteId(site), static_cast<ResourceKind>(kind)};
-      pool.DeclareBucket(bucket, rng.Uniform(1.0, 100.0));
+      ASSERT_TRUE(pool.DeclareBucket(bucket, rng.Uniform(1.0, 100.0)).ok());
       buckets.push_back(bucket);
     }
   }
@@ -73,11 +73,11 @@ TEST_P(PoolPropertyTest, AcquireReleaseSequencesBalance) {
   Rng rng(GetParam());
   res::ResourcePool pool;
   BucketId bucket{SiteId(0), ResourceKind::kCpu};
-  pool.DeclareBucket(bucket, 10.0);
+  ASSERT_TRUE(pool.DeclareBucket(bucket, 10.0).ok());
   std::vector<ResourceVector> held;
   for (int step = 0; step < 300; ++step) {
     if (!held.empty() && rng.Bernoulli(0.45)) {
-      pool.Release(held.back());
+      ASSERT_TRUE(pool.Release(held.back()).ok());
       held.pop_back();
     } else {
       ResourceVector demand;
@@ -87,7 +87,7 @@ TEST_P(PoolPropertyTest, AcquireReleaseSequencesBalance) {
     EXPECT_LE(pool.Used(bucket), pool.Capacity(bucket) + 1e-9);
     EXPECT_GE(pool.Used(bucket), -1e-9);
   }
-  for (const ResourceVector& demand : held) pool.Release(demand);
+  for (const ResourceVector& demand : held) ASSERT_TRUE(pool.Release(demand).ok());
   EXPECT_NEAR(pool.Used(bucket), 0.0, 1e-6);
 }
 

@@ -37,10 +37,10 @@ class QualityManagerTest : public ::testing::Test {
         metadata_(sites_, meta::DistributedMetadataEngine::Options()),
         api_(&pool_) {
     for (SiteId site : sites_) {
-      pool_.DeclareBucket({site, ResourceKind::kCpu}, 1.0);
-      pool_.DeclareBucket({site, ResourceKind::kNetworkBandwidth}, 3200.0);
-      pool_.DeclareBucket({site, ResourceKind::kDiskBandwidth}, 20000.0);
-      pool_.DeclareBucket({site, ResourceKind::kMemory}, 1 << 20);
+      EXPECT_TRUE(pool_.DeclareBucket({site, ResourceKind::kCpu}, 1.0).ok());
+      EXPECT_TRUE(pool_.DeclareBucket({site, ResourceKind::kNetworkBandwidth}, 3200.0).ok());
+      EXPECT_TRUE(pool_.DeclareBucket({site, ResourceKind::kDiskBandwidth}, 20000.0).ok());
+      EXPECT_TRUE(pool_.DeclareBucket({site, ResourceKind::kMemory}, 1 << 20).ok());
     }
     EXPECT_TRUE(metadata_.InsertContent(MakeContent(0)).ok());
     int64_t oid = 0;

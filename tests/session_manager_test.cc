@@ -15,8 +15,8 @@ namespace {
 class SessionManagerTest : public ::testing::Test {
  protected:
   SessionManagerTest() : api_(&pool_), manager_(&simulator_, &api_) {
-    pool_.DeclareBucket({SiteId(0), ResourceKind::kNetworkBandwidth}, 1000.0);
-    pool_.DeclareBucket({SiteId(1), ResourceKind::kNetworkBandwidth}, 1000.0);
+    EXPECT_TRUE(pool_.DeclareBucket({SiteId(0), ResourceKind::kNetworkBandwidth}, 1000.0).ok());
+    EXPECT_TRUE(pool_.DeclareBucket({SiteId(1), ResourceKind::kNetworkBandwidth}, 1000.0).ok());
   }
 
   ResourceVector Kbps(int site, double kbps) {

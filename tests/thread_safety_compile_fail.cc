@@ -1,0 +1,39 @@
+// Compile-time fixture for the thread-safety annotations, driven by
+// tests/thread_safety_compile_test.cmake (Clang only):
+//
+//   1. compiled with -DQUASAQ_TS_TEST_LOCKED, the MutexLock below is
+//      present and the file must compile cleanly under
+//      -Werror=thread-safety;
+//   2. compiled without it — i.e. with the MutexLock deliberately
+//      removed — the unlocked access to the GUARDED_BY member must
+//      break the build ("reading variable 'value_' requires holding
+//      mutex 'mu_'").
+//
+// If (2) ever starts compiling, the annotation net is dead (a macro
+// regressed to a no-op, or -Wthread-safety fell out of the build) and
+// every GUARDED_BY promise in src/ is decorative.
+
+#include "common/sync.h"
+
+namespace quasaq {
+
+class Guarded {
+ public:
+  int Increment() QUASAQ_EXCLUDES(mu_) {
+#ifdef QUASAQ_TS_TEST_LOCKED
+    MutexLock lock(&mu_);
+#endif
+    return ++value_;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ QUASAQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace quasaq
+
+int main() {
+  quasaq::Guarded guarded;
+  return guarded.Increment() == 1 ? 0 : 1;
+}

@@ -1,0 +1,41 @@
+# Negative compile test for the Clang thread-safety annotations.
+#
+# Invoked by ctest (see tests/CMakeLists.txt, Clang-only) as:
+#   cmake -DCXX=<clang++> -DSRC=<thread_safety_compile_fail.cc>
+#         -DINC=<repo>/src -P thread_safety_compile_test.cmake
+#
+# Asserts both directions:
+#   - the locked variant compiles clean under -Werror=thread-safety;
+#   - removing the MutexLock (the unlocked variant) breaks the build
+#     with a thread-safety diagnostic, proving the analysis is live.
+
+set(common_flags -std=c++20 -fsyntax-only -Wthread-safety
+                 -Werror=thread-safety -I${INC})
+
+execute_process(
+  COMMAND ${CXX} ${common_flags} -DQUASAQ_TS_TEST_LOCKED ${SRC}
+  RESULT_VARIABLE locked_result
+  ERROR_VARIABLE locked_stderr)
+if(NOT locked_result EQUAL 0)
+  message(FATAL_ERROR
+    "locked variant must compile under -Werror=thread-safety but "
+    "failed:\n${locked_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CXX} ${common_flags} ${SRC}
+  RESULT_VARIABLE unlocked_result
+  ERROR_VARIABLE unlocked_stderr)
+if(unlocked_result EQUAL 0)
+  message(FATAL_ERROR
+    "unlocked access to a GUARDED_BY member compiled — the "
+    "thread-safety analysis is not live")
+endif()
+if(NOT unlocked_stderr MATCHES "thread-safety|requires holding")
+  message(FATAL_ERROR
+    "unlocked variant failed for the wrong reason (expected a "
+    "-Wthread-safety diagnostic):\n${unlocked_stderr}")
+endif()
+
+message(STATUS "thread-safety compile test ok: locked compiles, "
+               "unlocked is rejected")

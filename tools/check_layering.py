@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Include-graph layering checker for src/.
+
+Enforces the one-way layer order documented in docs/ARCHITECTURE.md
+("Threading model / Layering"):
+
+    common
+      <- media, simcore
+      <- cache, query, resource, metadata
+      <- net, storage
+      <- replication
+      <- core
+      <- workload
+
+A file in directory D may include headers from its own directory or
+from any directory in a strictly lower layer. Upward includes (and
+sideways includes between sibling directories in the same layer) are
+build-order rot: they quietly turn the layered architecture into a
+cycle. CI runs this over the real tree and fails on any violation; an
+unknown src/ subdirectory is also an error so the map cannot silently
+go stale.
+
+Exit codes: 0 clean, 1 violations found, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# Layer order, lowest first. Directories in the same tuple are siblings
+# and may not include each other.
+LAYERS: list[tuple[str, ...]] = [
+    ("common",),
+    ("media", "simcore"),
+    ("cache", "query", "resource", "metadata"),
+    ("net", "storage"),
+    ("replication",),
+    ("core",),
+    ("workload",),
+]
+
+RANK = {d: i for i, layer in enumerate(LAYERS) for d in layer}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def check_files(files: dict[str, str]) -> list[str]:
+    """files: relative path (e.g. 'core/system.cc') -> file contents.
+
+    Returns a list of human-readable violation strings.
+    """
+    violations = []
+    for path, text in sorted(files.items()):
+        parts = Path(path).parts
+        if len(parts) < 2:
+            continue  # top-level file in src/, e.g. a CMakeLists
+        src_dir = parts[0]
+        if src_dir not in RANK:
+            violations.append(
+                f"{path}: directory '{src_dir}' is not in the layer map "
+                f"(update tools/check_layering.py and docs/ARCHITECTURE.md)")
+            continue
+        for inc in INCLUDE_RE.findall(text):
+            inc_dir = Path(inc).parts[0] if "/" in inc else None
+            if inc_dir is None or inc_dir not in RANK:
+                continue  # system header or non-layered include
+            if inc_dir == src_dir:
+                continue
+            if RANK[inc_dir] >= RANK[src_dir]:
+                kind = ("sideways" if RANK[inc_dir] == RANK[src_dir]
+                        else "upward")
+                violations.append(
+                    f"{path}: {kind} include \"{inc}\" "
+                    f"({src_dir} [layer {RANK[src_dir]}] -> "
+                    f"{inc_dir} [layer {RANK[inc_dir]}])")
+    return violations
+
+
+def load_tree(src_root: Path) -> dict[str, str]:
+    files = {}
+    for path in sorted(src_root.rglob("*")):
+        if path.suffix not in (".h", ".cc"):
+            continue
+        files[str(path.relative_to(src_root))] = path.read_text(
+            encoding="utf-8")
+    return files
+
+
+def self_test() -> int:
+    """Synthetic trees: the checker must flag an upward include and a
+    sideways include, and accept a correctly layered tree."""
+    upward = {
+        "resource/pool.h": '#include "common/status.h"\n',
+        # resource (layer 2) reaching up into core (layer 5): must fail.
+        "resource/bad.cc": '#include "core/system.h"\n#include <vector>\n',
+    }
+    sideways = {
+        # cache and query are siblings in layer 2: must fail.
+        "cache/bad.h": '#include "query/parser.h"\n',
+    }
+    clean = {
+        "core/system.cc": ('#include "core/system.h"\n'
+                           '#include "cache/segment_cache.h"\n'
+                           '#include "common/status.h"\n'),
+        "storage/storage_manager.h": '#include "cache/segment.h"\n',
+    }
+    failures = []
+    if len(check_files(upward)) != 1:
+        failures.append("upward include not flagged")
+    if len(check_files(sideways)) != 1:
+        failures.append("sideways include not flagged")
+    if check_files(clean):
+        failures.append("clean tree wrongly flagged")
+    for f in failures:
+        print(f"self-test FAILED: {f}", file=sys.stderr)
+    if not failures:
+        print("self-test ok: upward and sideways includes are flagged, "
+              "layered tree passes")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--src", default=None,
+                        help="src/ root to scan (default: <repo>/src)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the checker itself on synthetic trees")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    src_root = Path(args.src) if args.src else (
+        Path(__file__).resolve().parent.parent / "src")
+    if not src_root.is_dir():
+        print(f"error: src root not found: {src_root}", file=sys.stderr)
+        return 2
+
+    violations = check_files(load_tree(src_root))
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"\n{len(violations)} layering violation(s); layer order is "
+              "documented in docs/ARCHITECTURE.md", file=sys.stderr)
+        return 1
+    print(f"layering ok: {len(load_tree(src_root))} files respect "
+          f"{len(LAYERS)} layers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
