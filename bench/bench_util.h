@@ -161,6 +161,39 @@ class JsonWriter {
   std::vector<std::pair<std::string, std::string>> fields_;
 };
 
+/// Writes one observability sidecar (e.g. BENCH_micro.metrics.prom)
+/// next to the harness's BENCH_<name>.json.
+inline bool WriteSidecar(const std::string& bench_name,
+                         const std::string& suffix,
+                         const std::string& body) {
+  std::string path = "BENCH_" + bench_name + suffix;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  std::printf("[json] wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Writes the standard observability sidecars from a system snapshot
+/// (MediaDbSystem::TakeObservabilitySnapshot()): the Prometheus text
+/// dump, the JSON metrics snapshot, and — when tracing was enabled —
+/// the Chrome trace. Counters in the sidecars reconcile with the
+/// aggregates in BENCH_<name>.json since both read the same run.
+inline void WriteObservabilitySidecars(const std::string& bench_name,
+                                       const std::string& prometheus,
+                                       const std::string& metrics_json,
+                                       const std::string& trace_json = {}) {
+  WriteSidecar(bench_name, ".metrics.prom", prometheus);
+  WriteSidecar(bench_name, ".metrics.json", metrics_json);
+  if (!trace_json.empty()) {
+    WriteSidecar(bench_name, ".trace.json", trace_json);
+  }
+}
+
 }  // namespace quasaq::bench
 
 #endif  // QUASAQ_BENCH_BENCH_UTIL_H_

@@ -41,6 +41,7 @@ struct Outcome {
   double burst_sessions = 0.0;       // mean outstanding during the burst
   cache::SegmentCache::Counters cache;  // zero-initialized when cache off
   RunningStats hit_ratio_series;     // sampled every 10 s while caching
+  core::MediaDbSystem::ObservabilitySnapshot obs;
 };
 
 Outcome RunOne(bool cache_enabled) {
@@ -103,6 +104,7 @@ Outcome RunOne(bool cache_enabled) {
   if (system.cache_manager() != nullptr) {
     outcome.cache = system.cache_manager()->TotalCounters();
   }
+  outcome.obs = system.TakeObservabilitySnapshot();
   return outcome;
 }
 
@@ -154,5 +156,9 @@ int main() {
               improvement);
   json.Add("completed_improvement_percent", improvement);
   json.WriteFile();
+  // Sidecars from the cached run: its quasaq_cache_* counters must
+  // reconcile with the hit/miss aggregates reported above.
+  bench::WriteObservabilitySidecars("cache_hit_ratio", cached.obs.prometheus,
+                                    cached.obs.metrics_json);
   return 0;
 }

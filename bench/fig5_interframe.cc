@@ -15,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "net/playback.h"
+#include "obs/metrics.h"
 #include "workload/interframe.h"
 
 namespace {
@@ -98,13 +99,17 @@ int main() {
       "\nclient-side playback (1 s startup buffer, 30 ms network):\n");
   std::printf("%-26s %10s %12s %10s %12s\n", "Experiment", "on-time",
               "late frames", "underruns", "stall (ms)");
+  quasaq::obs::MetricsRegistry registry;
   for (size_t i = 0; i < results.size(); ++i) {
-    quasaq::net::PlaybackReport report =
-        quasaq::net::SimulateClientPlayback(results[i].frame_times,
-                                            quasaq::net::PlaybackOptions{});
+    quasaq::net::PlaybackReport report = quasaq::net::SimulateClientPlayback(
+        results[i].frame_times, quasaq::net::PlaybackOptions{}, &registry);
     std::printf("%-26s %9.1f%% %12d %10d %12.1f\n", panels[i].name,
                 report.OnTimeFraction() * 100.0, report.late_frames,
                 report.underruns, SimTimeToMillis(report.total_stall));
   }
+  // The quasaq_playback_* histograms aggregate all four panels.
+  quasaq::bench::WriteObservabilitySidecars("fig5_interframe",
+                                            registry.PrometheusText(),
+                                            registry.JsonSnapshot());
   return 0;
 }

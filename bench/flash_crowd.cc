@@ -21,6 +21,7 @@ constexpr double kCrowdRatePerSecond = 2.0;  // extra queries for video 0
 struct Outcome {
   core::MediaDbSystem::Stats stats;
   double stable_sessions = 0.0;
+  core::MediaDbSystem::ObservabilitySnapshot obs;
 };
 
 Outcome RunOne(core::SystemKind kind, bool dynamic_replication) {
@@ -76,6 +77,7 @@ Outcome RunOne(core::SystemKind kind, bool dynamic_replication) {
   Outcome outcome;
   outcome.stats = system.stats();
   outcome.stable_sessions = outstanding.MeanOver(kCrowdStart, kCrowdEnd);
+  outcome.obs = system.TakeObservabilitySnapshot();
   return outcome;
 }
 
@@ -105,8 +107,13 @@ int main() {
   Print("VDBMS+QoSAPI", RunOne(core::SystemKind::kVdbmsQosApi, false), json);
   Print("VDBMS+QuaSAQ (static replicas)",
         RunOne(core::SystemKind::kVdbmsQuasaq, false), json);
-  Print("VDBMS+QuaSAQ + dynamic repl",
-        RunOne(core::SystemKind::kVdbmsQuasaq, true), json);
+  Outcome quasaq_dynamic = RunOne(core::SystemKind::kVdbmsQuasaq, true);
+  Print("VDBMS+QuaSAQ + dynamic repl", quasaq_dynamic, json);
   json.WriteFile();
+  // Sidecars from the full-QuaSAQ run: quasaq_session_* and
+  // quasaq_resource_* counters reconcile with the admit/reject table.
+  bench::WriteObservabilitySidecars("flash_crowd",
+                                    quasaq_dynamic.obs.prometheus,
+                                    quasaq_dynamic.obs.metrics_json);
   return 0;
 }

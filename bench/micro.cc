@@ -12,6 +12,8 @@
 #include "media/library.h"
 #include "metadata/distributed_engine.h"
 #include "metadata/snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/content_search.h"
 #include "resource/pool.h"
 #include "simcore/fluid.h"
@@ -173,6 +175,68 @@ void BM_ResourcePoolAcquireRelease(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ResourcePoolAcquireRelease);
+
+// Observability substrate: these bound what the instrumentation added
+// to the delivery pipeline can cost per event.
+
+void BM_MetricsCounterIncrement(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter* counter =
+      registry.GetCounter("quasaq_bench_ops_total", "bench");
+  for (auto _ : state) {
+    counter->Increment();
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_MetricsCounterIncrement);
+
+void BM_MetricsRegistryResolve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (auto _ : state) {
+    obs::Counter* counter = registry.GetCounter(
+        "quasaq_bench_labeled_total", "bench", {{"site", "2"}});
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_MetricsRegistryResolve);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram histogram(obs::HistogramOptions{1.0, 2.0, 24});
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram.Observe(value);
+    value = value > 1e6 ? 0.0 : value + 17.0;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_TracerBeginEnd(benchmark::State& state) {
+  obs::Tracer tracer;
+  int64_t track = tracer.NewTrack("bench");
+  SimTime now = 0;
+  for (auto _ : state) {
+    tracer.Begin(track, "plan.enumerate", now);
+    tracer.End(track, ++now);
+  }
+  benchmark::DoNotOptimize(tracer.event_count());
+}
+// Fixed iteration count: End events intentionally bypass the buffer
+// cap (so exported traces stay balanced), which would let a free
+// -running benchmark loop grow the buffer without bound.
+BENCHMARK(BM_TracerBeginEnd)->Iterations(1 << 17);
+
+void BM_TracerDisabled(benchmark::State& state) {
+  obs::Tracer::Options options;
+  options.enabled = false;
+  obs::Tracer tracer(options);
+  for (auto _ : state) {
+    tracer.Begin(0, "plan.enumerate", 0);
+    tracer.End(0, 0);
+  }
+  benchmark::DoNotOptimize(tracer.event_count());
+}
+BENCHMARK(BM_TracerDisabled);
 
 }  // namespace
 

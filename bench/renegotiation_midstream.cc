@@ -14,7 +14,8 @@ namespace {
 
 using namespace quasaq;  // NOLINT: experiment harness
 
-void RunOne(double arrival_per_second) {
+core::MediaDbSystem::ObservabilitySnapshot RunOne(
+    double arrival_per_second) {
   sim::Simulator simulator;
   core::MediaDbSystem::Options options;
   options.kind = core::SystemKind::kVdbmsQuasaq;
@@ -84,6 +85,7 @@ void RunOne(double arrival_per_second) {
   std::printf("%14.1f %12d %12d %13.0f%% %12d %12d\n", arrival_per_second,
               upgrades_ok, upgrades_failed, upgrade_rate, downgrades_ok,
               downgrades_failed);
+  return system.TakeObservabilitySnapshot();
 }
 
 }  // namespace
@@ -93,9 +95,14 @@ int main() {
   std::printf("%14s %12s %12s %14s %12s %12s\n", "arrivals (q/s)",
               "upgrades ok", "upgrades x", "upgrade rate",
               "downgr. ok", "downgr. x");
+  core::MediaDbSystem::ObservabilitySnapshot last;
   for (double rate : {0.25, 0.5, 1.0, 2.0}) {
-    RunOne(rate);
+    last = RunOne(rate);
   }
+  // Sidecars from the heaviest load point: the renegotiate accept and
+  // reject counters mirror the table's upgrade/downgrade columns.
+  bench::WriteObservabilitySidecars("renegotiation_midstream",
+                                    last.prometheus, last.metrics_json);
   std::printf(
       "\ndowngrades (which release resources) always succeed; upgrades\n"
       "keep succeeding even under heavy load because the renegotiation\n"

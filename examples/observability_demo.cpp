@@ -1,0 +1,137 @@
+// Observability demo: run a traced QuaSAQ deployment through a small
+// scripted scenario — admissions, a mid-playback renegotiation, a
+// pause/resume, and a rejection under pressure — then export all three
+// observability artifacts:
+//
+//   quasaq_metrics.prom   Prometheus text exposition
+//   quasaq_metrics.json   JSON metrics snapshot (incl. gauge history)
+//   quasaq_trace.json     Chrome trace-event JSON; open at
+//                         https://ui.perfetto.dev or chrome://tracing
+//
+// The printed reconciliation shows that the exported counters agree
+// with the facade's own aggregates — the metrics are the same events,
+// not a parallel bookkeeping. CI runs this binary and validates both
+// JSON artifacts with `python -m json.tool`.
+//
+// Build & run:  ./build/examples/observability_demo
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "simcore/simulator.h"
+
+using namespace quasaq;  // NOLINT: example code
+
+namespace {
+
+bool WriteFile(const char* path, const std::string& body) {
+  std::FILE* file = std::fopen(path, "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  std::printf("wrote %s (%zu bytes)\n", path, body.size());
+  return true;
+}
+
+query::QosRequirement LowQos() {
+  query::QosRequirement qos;
+  qos.range.min_frame_rate = 1.0;
+  qos.range.max_resolution = media::kResolutionSif;
+  return qos;
+}
+
+query::QosRequirement HighQos() {
+  query::QosRequirement qos;
+  qos.range.min_resolution = media::kResolutionSvcd;
+  qos.range.min_color_depth_bits = 24;
+  qos.range.min_frame_rate = 20.0;
+  return qos;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  options.seed = 3;
+  options.library.max_duration_seconds = 90.0;
+  options.cache.enabled = true;      // exercise quasaq_cache_* metrics
+  options.observability.tracing = true;
+  core::MediaDbSystem db(&simulator, options);
+
+  // One session that lives through the whole lifecycle: admitted at low
+  // quality, upgraded mid-stream, paused and resumed, runs to
+  // completion.
+  core::MediaDbSystem::DeliveryOutcome hero =
+      db.SubmitDelivery(SiteId(0), LogicalOid(0), LowQos());
+  if (!hero.status.ok()) {
+    std::fprintf(stderr, "admission failed: %s\n",
+                 hero.status.ToString().c_str());
+    return 1;
+  }
+  Result<core::MediaDbSystem::DeliveryOutcome> upgraded =
+      db.ChangeSessionQos(hero.session, HighQos());
+  std::printf("hero session %lld: admitted low, renegotiate -> %s\n",
+              static_cast<long long>(hero.session.value()),
+              upgraded.ok() ? "upgraded" : "kept old plan");
+  simulator.ScheduleAt(5 * kSecond, [&db, &hero] {
+    (void)db.PauseSession(hero.session);
+  });
+  simulator.ScheduleAt(12 * kSecond, [&db, &hero] {
+    (void)db.ResumeSession(hero.session);
+  });
+
+  // Background admissions until the pool pushes back, so the trace
+  // shows rejected deliveries and the reserve_rejected counter moves.
+  int admitted = 1;
+  int rejected = 0;
+  for (int i = 0; i < 60; ++i) {
+    core::MediaDbSystem::DeliveryOutcome outcome = db.SubmitDelivery(
+        SiteId(i % 3), LogicalOid(i % 15), i % 2 == 0 ? HighQos() : LowQos());
+    outcome.status.ok() ? ++admitted : ++rejected;
+  }
+  simulator.RunAll();
+  std::printf("scenario done: %d admitted, %d rejected, all complete\n",
+              admitted, rejected);
+
+  // Export the three artifacts.
+  core::MediaDbSystem::ObservabilitySnapshot snapshot =
+      db.TakeObservabilitySnapshot();
+  if (!WriteFile("quasaq_metrics.prom", snapshot.prometheus) ||
+      !WriteFile("quasaq_metrics.json", snapshot.metrics_json) ||
+      !WriteFile("quasaq_trace.json", snapshot.trace_json)) {
+    return 1;
+  }
+
+  // Reconciliation: the exported counters and the facade's aggregates
+  // describe the same run.
+  core::MediaDbSystem::Stats stats = db.stats();
+  const obs::Tracer& tracer = db.observability().tracer();
+  std::printf("\nreconciliation (facade stats vs exported metrics):\n");
+  std::printf("  admitted=%llu rejected=%llu completed=%llu\n",
+              static_cast<unsigned long long>(stats.admitted),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.completed));
+  std::printf("  trace: %zu events on the buffer, %zu dropped, "
+              "%zu unbalanced ends\n",
+              tracer.event_count(), tracer.dropped_events(),
+              tracer.unbalanced_ends());
+  bool consistent = tracer.unbalanced_ends() == 0 &&
+                    snapshot.prometheus.find("quasaq_session_started_total " +
+                                             std::to_string(stats.admitted)) !=
+                        std::string::npos &&
+                    snapshot.prometheus.find("quasaq_plan_queries_total") !=
+                        std::string::npos;
+  std::printf("  consistent: %s\n", consistent ? "yes" : "NO");
+  std::printf("\nopen quasaq_trace.json at https://ui.perfetto.dev — each\n"
+              "delivery is one labeled track; spans nest as\n"
+              "delivery > {delivery.admit > plan.enumerate > plan.reserve},\n"
+              "then session.stream with renegotiate/pause children.\n");
+  return consistent ? 0 : 1;
+}

@@ -53,6 +53,12 @@ void CacheManager::EraseReplica(PhysicalOid replica) {
   for (auto& cache : caches_) cache->EraseReplica(replica);
 }
 
+void CacheManager::set_metrics(obs::MetricsRegistry* registry) {
+  for (size_t i = 0; i < caches_.size(); ++i) {
+    caches_[i]->set_metrics(registry, std::to_string(sites_[i].value()));
+  }
+}
+
 SegmentCache::Counters CacheManager::TotalCounters() const {
   SegmentCache::Counters total;
   for (const auto& cache : caches_) {

@@ -70,6 +70,11 @@ class CacheManager : public CacheView {
   /// Counters summed over all sites.
   SegmentCache::Counters TotalCounters() const;
 
+  /// Attaches every site's cache to `registry` as one site-labeled
+  /// family per counter (nullptr detaches). Call before streaming so
+  /// the registry totals reconcile with TotalCounters().
+  void set_metrics(obs::MetricsRegistry* registry);
+
   const SegmentLayout::Options& layout_options() const {
     return options_.layout;
   }

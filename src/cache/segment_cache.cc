@@ -16,6 +16,39 @@ SegmentCache::SegmentCache(const Options& options,
   assert(options_.capacity_kb > 0.0);
 }
 
+void SegmentCache::set_metrics(obs::MetricsRegistry* registry,
+                               std::string_view site_label) {
+  MutexLock lock(&mu_);
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  const obs::Labels labels = {{"site", std::string(site_label)}};
+  metrics_.hits = registry->GetCounter("quasaq_cache_hits_total",
+                                       "Segment reads served from memory",
+                                       labels);
+  metrics_.misses = registry->GetCounter(
+      "quasaq_cache_misses_total", "Segment reads that went to disk",
+      labels);
+  metrics_.inserts = registry->GetCounter(
+      "quasaq_cache_inserts_total", "Segments filled into the cache",
+      labels);
+  metrics_.evictions = registry->GetCounter(
+      "quasaq_cache_evictions_total", "Segments displaced by pressure",
+      labels);
+  metrics_.rejected = registry->GetCounter(
+      "quasaq_cache_rejected_total",
+      "Segments never admitted (larger than the cache)", labels);
+  metrics_.hit_kb = registry->GetCounter("quasaq_cache_hit_kb_total",
+                                         "KB served from memory", labels);
+  metrics_.miss_kb = registry->GetCounter("quasaq_cache_miss_kb_total",
+                                          "KB read from disk", labels);
+  metrics_.evicted_kb = registry->GetCounter(
+      "quasaq_cache_evicted_kb_total", "KB displaced by pressure", labels);
+  metrics_.used_kb = registry->GetGauge(
+      "quasaq_cache_used_kb", "Resident KB of cached segments", labels);
+}
+
 void SegmentCache::Touch(SegmentMeta& meta, SimTime now) {
   if (options_.popularity_half_life > 0 && now > meta.last_access) {
     double idle_half_lives =
@@ -48,6 +81,10 @@ bool SegmentCache::EvictFor(double needed_kb, SimTime now) {
     const double victim_kb = victim->size_kb;
     ++counters_.evictions;
     counters_.evicted_kb += victim_kb;
+    if (metrics_.evictions != nullptr) {
+      metrics_.evictions->Increment();
+      metrics_.evicted_kb->Increment(victim_kb);
+    }
     used_kb_ -= victim_kb;
     double& replica_kb = replica_kb_[victim_key.replica];
     replica_kb = std::max(0.0, replica_kb - victim_kb);
@@ -73,6 +110,7 @@ bool SegmentCache::InsertLocked(const SegmentKey& key, double size_kb,
   }
   if (size_kb > options_.capacity_kb || !EvictFor(size_kb, now)) {
     ++counters_.rejected;
+    if (metrics_.rejected != nullptr) metrics_.rejected->Increment();
     return false;
   }
   SegmentMeta meta;
@@ -88,6 +126,10 @@ bool SegmentCache::InsertLocked(const SegmentKey& key, double size_kb,
   ++replica_segments_[key.replica];
   ++counters_.inserts;
   counters_.inserted_kb += size_kb;
+  if (metrics_.inserts != nullptr) {
+    metrics_.inserts->Increment();
+    metrics_.used_kb->Sample(now, used_kb_);
+  }
   return true;
 }
 
@@ -98,11 +140,19 @@ bool SegmentCache::Access(const SegmentKey& key, double size_kb,
   if (it != segments_.end()) {
     ++counters_.hits;
     counters_.hit_kb += it->second.size_kb;
+    if (metrics_.hits != nullptr) {
+      metrics_.hits->Increment();
+      metrics_.hit_kb->Increment(it->second.size_kb);
+    }
     Touch(it->second, now);
     return true;
   }
   ++counters_.misses;
   counters_.miss_kb += size_kb;
+  if (metrics_.misses != nullptr) {
+    metrics_.misses->Increment();
+    metrics_.miss_kb->Increment(size_kb);
+  }
   InsertLocked(key, size_kb, now);
   return false;
 }

@@ -11,6 +11,7 @@
 #include "common/sync.h"
 #include "cache/eviction.h"
 #include "cache/segment.h"
+#include "obs/metrics.h"
 
 // One site's in-memory segment cache. Streamed segments pass through the
 // cache read-through style: a resident segment is served from memory (a
@@ -115,7 +116,29 @@ class SegmentCache {
   /// One-line operator report: policy, fill, hit ratio.
   std::string ReportString() const QUASAQ_EXCLUDES(mu_);
 
+  /// Mirrors the counters into `registry` as a site-labeled series
+  /// (`site_label` is the label value, normally the site id). nullptr
+  /// detaches. The registry must outlive the cache; call before the
+  /// first Access so registry totals match counters().
+  void set_metrics(obs::MetricsRegistry* registry, std::string_view site_label)
+      QUASAQ_EXCLUDES(mu_);
+
  private:
+  // Registry handles resolved once in set_metrics; all nullptr when
+  // unobserved. Emitted under mu_ — the registry's locks are leaves,
+  // consistent with mu_ being otherwise leaf-level.
+  struct Metrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* inserts = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* hit_kb = nullptr;
+    obs::Counter* miss_kb = nullptr;
+    obs::Counter* evicted_kb = nullptr;
+    obs::Gauge* used_kb = nullptr;
+  };
+
   void Touch(SegmentMeta& meta, SimTime now) QUASAQ_REQUIRES(mu_);
   // Evicts lowest-scored segments until `needed_kb` fits. Returns false
   // when the cache cannot make enough room (needed_kb > capacity).
@@ -135,6 +158,7 @@ class SegmentCache {
       QUASAQ_GUARDED_BY(mu_);
   double used_kb_ QUASAQ_GUARDED_BY(mu_) = 0.0;
   Counters counters_ QUASAQ_GUARDED_BY(mu_);
+  Metrics metrics_ QUASAQ_GUARDED_BY(mu_);
 };
 
 }  // namespace quasaq::cache

@@ -1,11 +1,18 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace quasaq {
 
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+// The level is read on every QUASAQ_LOG site's enabled-check and may be
+// flipped by any thread (tests raise it around a section, the stress
+// suite logs from 8 threads), so it must be an atomic — a plain global
+// here is a data race the TSan leg rightly flags. Relaxed ordering is
+// enough: the level is an independent filter knob, not a synchronization
+// point for other data.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -22,13 +29,15 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(level >= g_level) {
+    : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p != '\0'; ++p) {

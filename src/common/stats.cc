@@ -68,8 +68,10 @@ double TimeSeries::ValueAt(SimTime time) const {
 
 std::vector<TimeSeries::Sample> TimeSeries::Downsample(SimTime horizon,
                                                        size_t buckets) const {
-  assert(buckets > 0);
-  assert(horizon > 0);
+  // A degenerate request (no buckets, or an empty/negative horizon)
+  // has no well-defined windows; under NDEBUG the old assert-only
+  // guard fell through to a division by zero. Return an empty series.
+  if (buckets == 0 || horizon <= 0) return {};
   std::vector<RunningStats> acc(buckets);
   for (const Sample& s : samples_) {
     if (s.time < 0 || s.time > horizon) continue;

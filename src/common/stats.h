@@ -63,6 +63,8 @@ class TimeSeries {
 
   /// Reduces the series to at most `buckets` points by averaging within
   /// equal time windows over [0, horizon]; used for compact printing.
+  /// Returns an empty vector when `buckets` is 0 or `horizon` is not
+  /// positive.
   std::vector<Sample> Downsample(SimTime horizon, size_t buckets) const;
 
  private:

@@ -81,6 +81,17 @@ class PlanStream {
   /// Number of unexpanded groups — the branches pruning saved so far.
   size_t groups_pruned() const { return stats_.groups - stats_.groups_expanded; }
 
+  /// Ranking key at the head of the frontier: the lower bound every
+  /// not-yet-yielded plan must meet or exceed. When a consumer stops
+  /// pulling after an admitted plan, `FrontierBound() / admitted_cost`
+  /// is the margin by which the remaining search space lost — the
+  /// cutoff telemetry the observability layer histograms. nullopt once
+  /// the space is exhausted.
+  std::optional<double> FrontierBound() const {
+    if (frontier_.empty()) return std::nullopt;
+    return frontier_.top().cost;
+  }
+
   const Stats& stats() const { return stats_; }
 
  private:

@@ -17,6 +17,59 @@ QualityManager::QualityManager(meta::DistributedMetadataEngine* metadata,
   assert(qos_api_ != nullptr);
 }
 
+void QualityManager::set_observability(obs::Observability* observability) {
+  if (observability == nullptr) {
+    metrics_ = Metrics{};
+    tracer_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& reg = observability->metrics();
+  metrics_.queries = reg.GetCounter("quasaq_plan_queries_total",
+                                    "Delivery queries planned");
+  metrics_.admitted = reg.GetCounter("quasaq_plan_admitted_total",
+                                     "Queries that passed admission control");
+  metrics_.rejected_no_plan =
+      reg.GetCounter("quasaq_plan_rejected_no_plan_total",
+                     "Queries whose QoS no stored replica satisfies");
+  metrics_.rejected_no_resources =
+      reg.GetCounter("quasaq_plan_rejected_no_resources_total",
+                     "Queries whose every plan failed admission");
+  metrics_.relaxations =
+      reg.GetCounter("quasaq_plan_relaxations_total",
+                     "Second-chance QoS relaxation rounds attempted");
+  metrics_.generated = reg.GetCounter("quasaq_plan_generated_total",
+                                      "Plans materialized and costed");
+  metrics_.groups_pruned =
+      reg.GetCounter("quasaq_plan_groups_pruned_total",
+                     "Search branches the LRB lower bound cut off");
+  metrics_.per_query = reg.GetHistogram(
+      "quasaq_plan_generated_per_query_count",
+      "Plans materialized per query (prefix the admission walk expanded)",
+      obs::HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                            /*bucket_count=*/12});
+  metrics_.cutoff_margin = reg.GetHistogram(
+      "quasaq_plan_cutoff_margin_ratio",
+      "Frontier lower bound over admitted cost when enumeration stopped",
+      obs::HistogramOptions{/*first_bound=*/0.25, /*growth=*/1.5,
+                            /*bucket_count=*/12});
+  tracer_ = &observability->tracer();
+}
+
+void QualityManager::TraceBegin(const char* name, obs::Tracer::Args args) {
+  if (tracer_ == nullptr || trace_track_ == 0) return;
+  tracer_->Begin(trace_track_, name, trace_now_, std::move(args));
+}
+
+void QualityManager::TraceEnd(obs::Tracer::Args args) {
+  if (tracer_ == nullptr || trace_track_ == 0) return;
+  tracer_->End(trace_track_, trace_now_, std::move(args));
+}
+
+void QualityManager::TraceInstant(const char* name) {
+  if (tracer_ == nullptr || trace_track_ == 0) return;
+  tracer_->Instant(trace_track_, name, trace_now_);
+}
+
 void QualityManager::PopulateDefaultTranscodeTargets(
     PlanGenerator::Options& options) {
   if (!options.transcode_targets.empty()) return;
@@ -62,15 +115,24 @@ Result<QualityManager::Admitted> QualityManager::TryAdmit(
 Result<QualityManager::Admitted> QualityManager::TryAdmitEager(
     SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
     bool* had_plans) {
+  TraceBegin("plan.enumerate");
   Result<std::vector<Plan>> plans =
       generator_.Generate(query_site, content, qos);
-  if (!plans.ok()) return plans.status();
+  if (!plans.ok()) {
+    TraceEnd();
+    return plans.status();
+  }
   stats_.plans_generated += plans->size();
+  if (metrics_.generated != nullptr) {
+    metrics_.generated->Increment(static_cast<double>(plans->size()));
+  }
+  TraceEnd({{"plans", std::to_string(plans->size())}});
   *had_plans = !plans->empty();
   if (plans->empty()) {
     return Status::NotFound("no plan satisfies the QoS bounds");
   }
   evaluator_.Rank(*plans, qos_api_->pool());
+  TraceBegin("plan.reserve");
   int attempts = 0;
   for (Plan& plan : *plans) {
     if (options_.max_admission_attempts > 0 &&
@@ -85,8 +147,12 @@ Result<QualityManager::Admitted> QualityManager::TryAdmitEager(
     Admitted admitted;
     admitted.plan = std::move(plan);
     admitted.reservation = *reservation;
+    TraceEnd({{"attempts", std::to_string(attempts)},
+              {"site", std::to_string(admitted.plan.delivery_site.value())}});
     return admitted;
   }
+  TraceEnd({{"attempts", std::to_string(attempts)},
+            {"outcome", "rejected"}});
   return Status::ResourceExhausted("no admittable plan");
 }
 
@@ -96,8 +162,13 @@ Result<QualityManager::Admitted> QualityManager::TryAdmitStreamed(
   PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(), query_site,
                     content, qos);
   if (!stream.status().ok()) return stream.status();
+  // On the streamed path enumeration and admission interleave, so one
+  // plan.enumerate span covers the whole walk; reservation of the
+  // winning plan still gets its own nested plan.reserve span.
+  TraceBegin("plan.enumerate");
   Result<Admitted> result =
       Status::ResourceExhausted("no admittable plan");
+  double admitted_cost = 0.0;
   int attempts = 0;
   while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
     *had_plans = true;
@@ -107,17 +178,38 @@ Result<QualityManager::Admitted> QualityManager::TryAdmitStreamed(
     }
     ++attempts;
     if (!qos_api_->Admissible(ranked->plan.resources)) continue;
+    TraceBegin("plan.reserve");
     Result<res::ReservationId> reservation =
         qos_api_->Reserve(ranked->plan.resources);
-    if (!reservation.ok()) continue;  // raced/edge: try the next plan
+    if (!reservation.ok()) {  // raced/edge: try the next plan
+      TraceEnd({{"outcome", "rejected"}});
+      continue;
+    }
     Admitted admitted;
     admitted.plan = std::move(ranked->plan);
     admitted.reservation = *reservation;
+    admitted_cost = ranked->cost;
+    TraceEnd({{"attempts", std::to_string(attempts)},
+              {"site", std::to_string(admitted.plan.delivery_site.value())}});
     result = std::move(admitted);
     break;
   }
   stats_.plans_generated += stream.stats().plans_generated;
   stats_.groups_pruned += stream.groups_pruned();
+  if (metrics_.generated != nullptr) {
+    metrics_.generated->Increment(
+        static_cast<double>(stream.stats().plans_generated));
+    metrics_.groups_pruned->Increment(
+        static_cast<double>(stream.groups_pruned()));
+    // How decisively the lower bound cut the rest of the space off: the
+    // frontier's best remaining bound relative to the admitted cost.
+    std::optional<double> bound = stream.FrontierBound();
+    if (result.ok() && bound.has_value() && admitted_cost > 0.0) {
+      metrics_.cutoff_margin->Observe(*bound / admitted_cost);
+    }
+  }
+  TraceEnd({{"plans", std::to_string(stream.stats().plans_generated)},
+            {"pruned", std::to_string(stream.groups_pruned())}});
   if (!result.ok() && !*had_plans) {
     return Status::NotFound("no plan satisfies the QoS bounds");
   }
@@ -128,10 +220,22 @@ Result<QualityManager::Admitted> QualityManager::AdmitQuery(
     SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
     const UserProfile* profile) {
   ++stats_.queries;
+  if (metrics_.queries != nullptr) metrics_.queries->Increment();
+  TraceBegin("delivery.admit");
+  const uint64_t generated_before = stats_.plans_generated;
+  auto observe_per_query = [&] {
+    if (metrics_.per_query != nullptr) {
+      metrics_.per_query->Observe(
+          static_cast<double>(stats_.plans_generated - generated_before));
+    }
+  };
   bool had_plans = false;
   Result<Admitted> attempt = TryAdmit(query_site, content, qos, &had_plans);
   if (attempt.ok()) {
     ++stats_.admitted;
+    if (metrics_.admitted != nullptr) metrics_.admitted->Increment();
+    observe_per_query();
+    TraceEnd({{"outcome", "admitted"}});
     return attempt;
   }
 
@@ -142,6 +246,8 @@ Result<QualityManager::Admitted> QualityManager::AdmitQuery(
     query::QosRequirement relaxed = qos;
     for (int round = 0; round < options_.max_renegotiation_rounds; ++round) {
       if (!profile->RelaxForRenegotiation(relaxed.range)) break;
+      if (metrics_.relaxations != nullptr) metrics_.relaxations->Increment();
+      TraceInstant("plan.relax");
       had_plans = false;
       Result<Admitted> retry =
           TryAdmit(query_site, content, relaxed, &had_plans);
@@ -149,20 +255,33 @@ Result<QualityManager::Admitted> QualityManager::AdmitQuery(
       if (retry.ok()) {
         ++stats_.admitted;
         ++stats_.renegotiated;
+        if (metrics_.admitted != nullptr) metrics_.admitted->Increment();
+        observe_per_query();
         retry->renegotiated = true;
+        TraceEnd({{"outcome", "admitted_relaxed"},
+                  {"rounds", std::to_string(round + 1)}});
         return retry;
       }
     }
   }
 
+  observe_per_query();
   if (any_plans_seen) {
     ++stats_.rejected_no_resources;
+    if (metrics_.rejected_no_resources != nullptr) {
+      metrics_.rejected_no_resources->Increment();
+    }
+    TraceEnd({{"outcome", "rejected_no_resources"}});
     return Status::ResourceExhausted("no admittable plan after " +
                                      std::string(profile != nullptr
                                                      ? "renegotiation"
                                                      : "admission control"));
   }
   ++stats_.rejected_no_plan;
+  if (metrics_.rejected_no_plan != nullptr) {
+    metrics_.rejected_no_plan->Increment();
+  }
+  TraceEnd({{"outcome", "rejected_no_plan"}});
   return Status::NotFound("no plan satisfies the QoS bounds");
 }
 
@@ -242,32 +361,54 @@ Result<QualityManager::Admitted> QualityManager::RenegotiateDelivery(
     PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(),
                       query_site, content, qos);
     if (!stream.status().ok()) return stream.status();
+    TraceBegin("plan.enumerate");
     bool had_plans = false;
     Result<Admitted> result = Status::ResourceExhausted(
         "no admittable plan for the renegotiated QoS");
     while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
       had_plans = true;
+      TraceBegin("plan.reserve");
       Status status = qos_api_->Renegotiate(id, ranked->plan.resources);
-      if (!status.ok()) continue;
+      if (!status.ok()) {
+        TraceEnd({{"outcome", "rejected"}});
+        continue;
+      }
       Admitted admitted;
       admitted.plan = std::move(ranked->plan);
       admitted.reservation = id;
       admitted.renegotiated = true;
+      TraceEnd({{"site",
+                 std::to_string(admitted.plan.delivery_site.value())}});
       result = std::move(admitted);
       break;
     }
     stats_.plans_generated += stream.stats().plans_generated;
     stats_.groups_pruned += stream.groups_pruned();
+    if (metrics_.generated != nullptr) {
+      metrics_.generated->Increment(
+          static_cast<double>(stream.stats().plans_generated));
+      metrics_.groups_pruned->Increment(
+          static_cast<double>(stream.groups_pruned()));
+    }
+    TraceEnd({{"plans", std::to_string(stream.stats().plans_generated)}});
     if (!result.ok() && !had_plans) {
       return Status::NotFound("no plan satisfies the new QoS bounds");
     }
     return result;
   }
 
+  TraceBegin("plan.enumerate");
   Result<std::vector<Plan>> plans =
       generator_.Generate(query_site, content, qos);
-  if (!plans.ok()) return plans.status();
+  if (!plans.ok()) {
+    TraceEnd();
+    return plans.status();
+  }
   stats_.plans_generated += plans->size();
+  if (metrics_.generated != nullptr) {
+    metrics_.generated->Increment(static_cast<double>(plans->size()));
+  }
+  TraceEnd({{"plans", std::to_string(plans->size())}});
   if (plans->empty()) {
     return Status::NotFound("no plan satisfies the new QoS bounds");
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/sim_time.h"
 #include "common/status.h"
 #include "core/cost_evaluator.h"
 #include "core/plan_generator.h"
@@ -12,6 +13,7 @@
 #include "core/qop.h"
 #include "core/utility.h"
 #include "metadata/distributed_engine.h"
+#include "obs/observability.h"
 #include "query/ast.h"
 #include "resource/composite_api.h"
 
@@ -134,7 +136,39 @@ class QualityManager {
   res::CompositeQosApi& qos_api() { return *qos_api_; }
   PlanGenerator& generator() { return generator_; }
 
+  /// Attaches plan-search counters/histograms and span emission
+  /// (nullptr detaches). The pointer must outlive the manager.
+  void set_observability(obs::Observability* observability);
+
+  /// Trace context for the next Admit/Renegotiate call: the owning
+  /// delivery's track and the sim time to stamp spans with (the sim
+  /// clock does not advance during admission, so every span of one
+  /// admission shares a timestamp). track 0 disables span emission.
+  /// Like the rest of this manager, not thread-safe: the facade is the
+  /// single-threaded driver (docs/ARCHITECTURE.md).
+  void set_trace_context(int64_t track, SimTime now) {
+    trace_track_ = track;
+    trace_now_ = now;
+  }
+
  private:
+  // Registry handles resolved once in set_observability; all nullptr
+  // when unobserved.
+  struct Metrics {
+    obs::Counter* queries = nullptr;
+    obs::Counter* admitted = nullptr;
+    obs::Counter* rejected_no_plan = nullptr;
+    obs::Counter* rejected_no_resources = nullptr;
+    obs::Counter* relaxations = nullptr;
+    obs::Counter* generated = nullptr;
+    obs::Counter* groups_pruned = nullptr;
+    obs::Histogram* per_query = nullptr;
+    obs::Histogram* cutoff_margin = nullptr;
+  };
+
+  void TraceBegin(const char* name, obs::Tracer::Args args = {});
+  void TraceEnd(obs::Tracer::Args args = {});
+  void TraceInstant(const char* name);
   // Installs the gain function matching the optimization goal for a
   // query's QoS window.
   void ConfigureGain(const query::QosRequirement& qos);
@@ -154,6 +188,10 @@ class QualityManager {
   RuntimeCostEvaluator evaluator_;
   Options options_;
   Stats stats_;
+  Metrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  int64_t trace_track_ = 0;
+  SimTime trace_now_ = 0;
 };
 
 }  // namespace quasaq::core

@@ -13,6 +13,48 @@ SessionManager::SessionManager(sim::Simulator* simulator,
   assert(qos_api_ != nullptr);
 }
 
+void SessionManager::set_observability(obs::Observability* observability) {
+  MutexLock lock(&mu_);
+  if (observability == nullptr) {
+    metrics_ = Metrics{};
+    tracer_ = nullptr;
+    return;
+  }
+  obs::MetricsRegistry& reg = observability->metrics();
+  metrics_.started = reg.GetCounter("quasaq_session_started_total",
+                                    "Deliveries admitted and started");
+  metrics_.completed = reg.GetCounter("quasaq_session_completed_total",
+                                      "Sessions that played to the end");
+  metrics_.cancelled = reg.GetCounter("quasaq_session_cancelled_total",
+                                      "Sessions aborted before completion");
+  metrics_.paused =
+      reg.GetCounter("quasaq_session_paused_total", "Pause operations");
+  metrics_.resumed = reg.GetCounter("quasaq_session_resumed_total",
+                                    "Successful resume operations");
+  metrics_.resume_failed =
+      reg.GetCounter("quasaq_session_resume_failed_total",
+                     "Resumes rejected by re-admission");
+  metrics_.active = reg.GetGauge("quasaq_session_active_count",
+                                 "Sessions currently streaming or paused");
+  metrics_.peak = reg.GetGauge("quasaq_session_peak_count",
+                               "High-water mark of concurrent sessions");
+  metrics_.duration_seconds = reg.GetHistogram(
+      "quasaq_session_duration_seconds",
+      "Wall-clock (simulated) session length from start to completion",
+      obs::HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                            /*bucket_count=*/16});
+  tracer_ = &observability->tracer();
+}
+
+void SessionManager::SampleActive() {
+  if (metrics_.active == nullptr) return;
+  const SimTime now = simulator_->Now();
+  metrics_.active->Sample(now, outstanding_);
+  if (outstanding_ > metrics_.peak->value()) {
+    metrics_.peak->Sample(now, outstanding_);
+  }
+}
+
 SessionId SessionManager::Start(Record record, double duration_seconds) {
   MutexLock lock(&mu_);
   SessionId id(next_session_++);
@@ -29,8 +71,15 @@ SessionId SessionManager::Start(Record record, double duration_seconds) {
   }
   record.completion_event = simulator_->ScheduleAt(
       record.expected_end, [this, id] { Complete(id); });
+  if (tracer_ != nullptr && record.trace_track != 0) {
+    tracer_->Begin(record.trace_track, "session.stream", simulator_->Now(),
+                   {{"session", std::to_string(id.value())},
+                    {"site", std::to_string(record.site.value())}});
+  }
   sessions_.emplace(id, std::move(record));
   ++outstanding_;
+  if (metrics_.started != nullptr) metrics_.started->Increment();
+  SampleActive();
   return id;
 }
 
@@ -72,6 +121,10 @@ Status SessionManager::Pause(SessionId session) {
   record.completion_event = sim::kInvalidEventId;
   record.remaining_at_pause = record.expected_end - simulator_->Now();
   record.paused = true;
+  if (metrics_.paused != nullptr) metrics_.paused->Increment();
+  if (tracer_ != nullptr && record.trace_track != 0) {
+    tracer_->Begin(record.trace_track, "session.paused", simulator_->Now());
+  }
   return Status::Ok();
 }
 
@@ -87,7 +140,16 @@ Status SessionManager::Resume(SessionId session) {
   if (!record.reserved_vector.empty()) {
     Result<res::ReservationId> reservation =
         qos_api_->Reserve(record.reserved_vector);
-    if (!reservation.ok()) return reservation.status();
+    if (!reservation.ok()) {
+      if (metrics_.resume_failed != nullptr) {
+        metrics_.resume_failed->Increment();
+      }
+      if (tracer_ != nullptr && record.trace_track != 0) {
+        tracer_->Instant(record.trace_track, "session.resume_failed",
+                         simulator_->Now());
+      }
+      return reservation.status();
+    }
     record.reservation = *reservation;
   }
   if (record.vdbms_kbps > 0.0) {
@@ -98,6 +160,11 @@ Status SessionManager::Resume(SessionId session) {
   SessionId id = session;
   record.completion_event = simulator_->ScheduleAt(
       record.expected_end, [this, id] { Complete(id); });
+  if (metrics_.resumed != nullptr) metrics_.resumed->Increment();
+  if (tracer_ != nullptr && record.trace_track != 0) {
+    // Closes the session.paused span opened by Pause.
+    tracer_->End(record.trace_track, simulator_->Now());
+  }
   return Status::Ok();
 }
 
@@ -113,8 +180,15 @@ Status SessionManager::Cancel(SessionId session) {
   }
   // Paused sessions already returned their resources.
   if (!record.paused) UnpinVdbms(record);
+  if (tracer_ != nullptr && record.trace_track != 0) {
+    const SimTime now = simulator_->Now();
+    tracer_->Instant(record.trace_track, "session.cancelled", now);
+    tracer_->EndAll(record.trace_track, now);
+  }
   sessions_.erase(it);
   --outstanding_;
+  if (metrics_.cancelled != nullptr) metrics_.cancelled->Increment();
+  SampleActive();
   return Status::Ok();
 }
 
@@ -144,11 +218,21 @@ void SessionManager::Complete(SessionId id) {
       (void)status;
     }
     UnpinVdbms(record);
+    completed_at = simulator_->Now();
+    if (metrics_.completed != nullptr) {
+      metrics_.completed->Increment();
+      metrics_.duration_seconds->Observe(
+          SimTimeToSeconds(completed_at - record.start));
+    }
+    if (tracer_ != nullptr && record.trace_track != 0) {
+      // Closes session.stream (and a dangling session.paused, if the
+      // caller completed a paused session) plus the delivery root span.
+      tracer_->EndAll(record.trace_track, completed_at);
+    }
     sessions_.erase(it);
     --outstanding_;
     ++completed_;
     callback = on_complete_;
-    completed_at = simulator_->Now();
   }
   // Invoke outside the lock: the facade's completion hook (and user
   // callbacks behind it) may re-enter this manager, e.g. to cancel or

@@ -10,6 +10,7 @@
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "obs/observability.h"
 #include "resource/composite_api.h"
 #include "simcore/simulator.h"
 
@@ -56,6 +57,9 @@ class SessionManager {
     bool paused = false;
     SimTime remaining_at_pause = 0;
     ResourceVector reserved_vector;  // for re-admission on resume
+    // Trace track (Tracer::NewTrack) this delivery's spans render on;
+    // 0 when tracing is off.
+    int64_t trace_track = 0;
   };
 
   using CompleteCallback = std::function<void(SessionId, SimTime)>;
@@ -113,7 +117,30 @@ class SessionManager {
     on_complete_ = std::move(callback);
   }
 
+  /// Attaches lifecycle counters, active/peak gauges, the duration
+  /// histogram, and span emission to `observability` (nullptr detaches).
+  /// Call before the first Start; the pointer must outlive the manager.
+  void set_observability(obs::Observability* observability)
+      QUASAQ_EXCLUDES(mu_);
+
  private:
+  // Registry handles resolved once in set_observability; all nullptr
+  // when unobserved.
+  struct Metrics {
+    obs::Counter* started = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* cancelled = nullptr;
+    obs::Counter* paused = nullptr;
+    obs::Counter* resumed = nullptr;
+    obs::Counter* resume_failed = nullptr;
+    obs::Gauge* active = nullptr;
+    obs::Gauge* peak = nullptr;
+    obs::Histogram* duration_seconds = nullptr;
+  };
+
+  // Samples the active-session gauge (and bumps the peak) after
+  // outstanding_ changed.
+  void SampleActive() QUASAQ_REQUIRES(mu_);
   void Complete(SessionId id) QUASAQ_EXCLUDES(mu_);
   // Returns the session's pinned VDBMS bitrate to its site (no-op for
   // reservation-backed sessions).
@@ -128,6 +155,10 @@ class SessionManager {
   std::unordered_map<SessionId, Record> sessions_ QUASAQ_GUARDED_BY(mu_);
   std::unordered_map<SiteId, double> vdbms_site_kbps_ QUASAQ_GUARDED_BY(mu_);
   CompleteCallback on_complete_ QUASAQ_GUARDED_BY(mu_);
+  // Observability is emitted while mu_ is held; the obs mutexes are
+  // strict leaves in the lock order, below ResourcePool::mu_.
+  Metrics metrics_ QUASAQ_GUARDED_BY(mu_);
+  obs::Tracer* tracer_ QUASAQ_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace quasaq::core

@@ -21,14 +21,20 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
                              const Options& options)
     : simulator_(simulator),
       options_(options),
+      observability_(obs::Tracer::Options{
+          options.observability.tracing,
+          options.observability.trace_max_events}),
       library_(media::BuildExperimentLibrary(options.library,
                                              options.topology.SiteIds())),
       qos_api_(&pool_),
       session_manager_(simulator, &qos_api_) {
   assert(simulator_ != nullptr);
   std::vector<SiteId> sites = options_.topology.SiteIds();
+  session_manager_.set_observability(&observability_);
+  qos_api_.set_metrics(&observability_.metrics());
   session_manager_.set_on_complete([this](SessionId id, SimTime now) {
     ++stats_.completed;
+    SampleResourceTelemetry();
     if (on_session_complete_) on_session_complete_(id, now);
   });
 
@@ -49,6 +55,8 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
     declare({server.id, ResourceKind::kMemoryBandwidth},
             server.memory_bandwidth_kbps);
   }
+  pool_telemetry_ = std::make_unique<res::PoolTelemetry>(
+      &pool_, &observability_.metrics());
 
   // Metadata: contents, replicas and sampled QoS profiles.
   metadata_ = std::make_unique<meta::DistributedMetadataEngine>(
@@ -79,9 +87,11 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
     }
     quality_manager_ = std::make_unique<QualityManager>(
         metadata_.get(), &qos_api_, cost_model_.get(), sites, quality);
+    quality_manager_->set_observability(&observability_);
     if (options_.cache.enabled) {
       cache_manager_ = std::make_unique<cache::CacheManager>(
           sites, options_.cache.manager);
+      cache_manager_->set_metrics(&observability_.metrics());
       quality_manager_->generator().set_cache_view(cache_manager_.get());
     }
 
@@ -129,6 +139,21 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::SubmitDelivery(
     SiteId client_site, LogicalOid content, const query::QosRequirement& qos,
     const UserProfile* profile) {
   ++stats_.submitted;
+  obs::Tracer& tracer = observability_.tracer();
+  const SimTime now = simulator_->Now();
+  current_trace_track_ = 0;
+  if (options_.observability.tracing) {
+    current_trace_track_ = tracer.NewTrack(
+        "delivery content=" + std::to_string(content.value()) + " site=" +
+        std::to_string(client_site.value()));
+    tracer.Begin(current_trace_track_, "delivery", now,
+                 {{"content", std::to_string(content.value())},
+                  {"client_site", std::to_string(client_site.value())},
+                  {"kind", std::string(SystemKindName(options_.kind))}});
+  }
+  if (quality_manager_ != nullptr) {
+    quality_manager_->set_trace_context(current_trace_track_, now);
+  }
   DeliveryOutcome outcome;
   switch (options_.kind) {
     case SystemKind::kVdbms:
@@ -143,9 +168,21 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::SubmitDelivery(
   }
   if (outcome.status.ok()) {
     ++stats_.admitted;
+    // The new reservation moved utilization; record the step.
+    SampleResourceTelemetry();
   } else {
     ++stats_.rejected;
+    if (current_trace_track_ != 0) {
+      // A rejected delivery never reaches the session layer; close the
+      // root span here so the track is complete.
+      tracer.Instant(current_trace_track_, "delivery.rejected", now);
+      tracer.EndAll(current_trace_track_, now);
+    }
   }
+  if (quality_manager_ != nullptr) {
+    quality_manager_->set_trace_context(0, now);
+  }
+  current_trace_track_ = 0;
   return outcome;
 }
 
@@ -169,10 +206,19 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverVdbms(
   double stretch =
       std::clamp(demand_ratio, 1.0, options_.vdbms_max_stretch);
 
+  if (current_trace_track_ != 0) {
+    // VDBMS has no admission control: a zero-width span records that
+    // the query passed straight through.
+    const SimTime now = simulator_->Now();
+    observability_.tracer().Begin(current_trace_track_, "delivery.admit",
+                                  now, {{"control", "none"}});
+    observability_.tracer().End(current_trace_track_, now);
+  }
   SessionManager::Record record;
   record.content = content;
   record.site = site;
   record.vdbms_kbps = replica->bitrate_kbps;
+  record.trace_track = current_trace_track_;
 
   outcome.status = Status::Ok();
   outcome.delivered_qos = replica->qos;
@@ -197,7 +243,16 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
   plan.source_site = replica->site;
   plan.delivery_site = site;
   FinalizePlan(plan, *replica, options_.quality.generator.constants);
+  if (current_trace_track_ != 0) {
+    observability_.tracer().Begin(current_trace_track_, "delivery.admit",
+                                  simulator_->Now());
+  }
   Result<res::ReservationId> reservation = qos_api_.Reserve(plan.resources);
+  if (current_trace_track_ != 0) {
+    observability_.tracer().End(
+        current_trace_track_, simulator_->Now(),
+        {{"outcome", reservation.ok() ? "admitted" : "rejected"}});
+  }
   if (!reservation.ok()) {
     outcome.status = reservation.status();
     return outcome;
@@ -206,6 +261,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
   record.content = content;
   record.site = site;
   record.reservation = *reservation;
+  record.trace_track = current_trace_track_;
   outcome.status = Status::Ok();
   outcome.delivered_qos = replica->qos;
   outcome.wire_rate_kbps = plan.wire_rate_kbps;
@@ -249,6 +305,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
   record.content = content;
   record.site = admitted->plan.delivery_site;
   record.reservation = admitted->reservation;
+  record.trace_track = current_trace_track_;
   outcome.status = Status::Ok();
   outcome.renegotiated = admitted->renegotiated;
   outcome.delivered_qos = admitted->plan.delivered_qos;
@@ -266,6 +323,14 @@ Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
   }
   const SessionManager::Record* record = session_manager_.Find(session);
   if (record == nullptr) return Status::NotFound("no such session");
+  obs::Tracer& tracer = observability_.tracer();
+  const int64_t track = record->trace_track;
+  const SimTime now = simulator_->Now();
+  if (track != 0) {
+    tracer.Begin(track, "session.renegotiate", now,
+                 {{"session", std::to_string(session.value())}});
+  }
+  quality_manager_->set_trace_context(track, now);
   // A paused session holds no reservation to renegotiate in place: plan
   // fresh, then immediately hand the resources back — Resume re-admits
   // the adopted vector when playback actually restarts.
@@ -275,7 +340,13 @@ Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
                                          new_qos)
           : quality_manager_->RenegotiateDelivery(
                 record->reservation, record->site, record->content, new_qos);
+  quality_manager_->set_trace_context(0, now);
+  if (track != 0) {
+    tracer.End(track, now,
+               {{"outcome", admitted.ok() ? "adopted" : "rejected"}});
+  }
   if (!admitted.ok()) return admitted.status();
+  SampleResourceTelemetry();
   if (record->paused) {
     Status released = qos_api_.Release(admitted->reservation);
     assert(released.ok());
@@ -292,6 +363,21 @@ Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
   outcome.delivered_qos = admitted->plan.delivered_qos;
   outcome.wire_rate_kbps = admitted->plan.wire_rate_kbps;
   return outcome;
+}
+
+MediaDbSystem::ObservabilitySnapshot
+MediaDbSystem::TakeObservabilitySnapshot() const {
+  ObservabilitySnapshot snapshot;
+  snapshot.prometheus = observability_.metrics().PrometheusText();
+  snapshot.metrics_json = observability_.metrics().JsonSnapshot();
+  if (options_.observability.tracing) {
+    snapshot.trace_json = observability_.tracer().ChromeTraceJson();
+  }
+  return snapshot;
+}
+
+void MediaDbSystem::SampleResourceTelemetry() {
+  pool_telemetry_->Sample(simulator_->Now());
 }
 
 std::string MediaDbSystem::ReportString() const {

@@ -17,11 +17,13 @@
 #include "media/library.h"
 #include "metadata/distributed_engine.h"
 #include "net/topology.h"
+#include "obs/observability.h"
 #include "query/content_search.h"
 #include "query/parser.h"
 #include "replication/manager.h"
 #include "resource/composite_api.h"
 #include "resource/pool.h"
+#include "resource/telemetry.h"
 #include "simcore/simulator.h"
 #include "storage/storage_manager.h"
 
@@ -103,6 +105,20 @@ class MediaDbSystem {
       double min_plan_fraction = 0.05;
     };
     Cache cache;
+
+    // End-to-end observability (src/obs/). The metrics registry is
+    // always on — counters are lock-free and gauges/histograms cost one
+    // leaf lock, so instrumentation overhead is negligible next to
+    // planning. Per-session trace recording is opt-in.
+    struct Observability {
+      // Record per-delivery spans (admit → plan → stream →
+      // renegotiate → complete) for Chrome trace-event export.
+      bool tracing = false;
+      // Cap on buffered trace events; Begin/Instant past the cap are
+      // dropped (counted), End is always kept so spans stay closed.
+      size_t trace_max_events = 1 << 20;
+    };
+    Observability observability;
   };
 
   struct DeliveryOutcome {
@@ -232,6 +248,26 @@ class MediaDbSystem {
   /// Non-null only when segment caching is enabled (QuaSAQ only).
   cache::CacheManager* cache_manager() { return cache_manager_.get(); }
 
+  /// The live observability context all layers report into.
+  obs::Observability& observability() { return observability_; }
+  const obs::Observability& observability() const { return observability_; }
+
+  // Serialized exposition of the observability state: the Prometheus
+  // text dump and the JSON snapshot of every metric, plus the Chrome
+  // trace-event JSON (empty when tracing is off).
+  struct ObservabilitySnapshot {
+    std::string prometheus;
+    std::string metrics_json;
+    std::string trace_json;
+  };
+  ObservabilitySnapshot TakeObservabilitySnapshot() const;
+
+  /// Records one utilization sample per resource bucket at the current
+  /// sim time. The facade calls this whenever utilization moves (session
+  /// start and completion); harnesses wanting a fixed cadence can drive
+  /// it from a periodic simulator task.
+  void SampleResourceTelemetry();
+
  private:
   /// Parses `text` and resolves its content predicate to the first
   /// matching logical OID (stored into `content`).
@@ -245,6 +281,7 @@ class MediaDbSystem {
 
   sim::Simulator* simulator_;
   Options options_;
+  obs::Observability observability_;
   media::VideoLibrary library_;
   std::unique_ptr<meta::DistributedMetadataEngine> metadata_;
   query::ContentIndex content_index_;
@@ -256,9 +293,14 @@ class MediaDbSystem {
   std::vector<std::unique_ptr<storage::StorageManager>> storage_;
   std::unique_ptr<repl::ReplicationManager> replication_manager_;
   std::unique_ptr<cache::CacheManager> cache_manager_;
+  std::unique_ptr<res::PoolTelemetry> pool_telemetry_;
 
   Stats stats_;
   SessionCompleteCallback on_session_complete_;
+  // Track of the delivery currently being admitted; Deliver* stamp it
+  // into the session record. The facade is single-threaded by design
+  // (see docs/ARCHITECTURE.md), so a member carries it safely.
+  int64_t current_trace_track_ = 0;
 };
 
 }  // namespace quasaq::core

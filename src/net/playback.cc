@@ -4,9 +4,44 @@
 
 namespace quasaq::net {
 
+namespace {
+
+void RecordPlayback(obs::MetricsRegistry& registry,
+                    const PlaybackReport& report,
+                    const std::vector<SimTime>& arrivals) {
+  registry.GetCounter("quasaq_playback_frames_total", "Frames played out")
+      ->Increment(report.frames);
+  registry
+      .GetCounter("quasaq_playback_qos_violations_total",
+                  "Frames that missed their playout deadline")
+      ->Increment(report.late_frames);
+  registry
+      .GetCounter("quasaq_playback_underruns_total",
+                  "Rebuffering events (runs of late frames)")
+      ->Increment(report.underruns);
+  registry
+      .GetHistogram("quasaq_playback_startup_latency_ms",
+                    "First server frame to playback start",
+                    obs::HistogramOptions{/*first_bound=*/50.0,
+                                          /*growth=*/2.0,
+                                          /*bucket_count=*/10})
+      ->Observe(SimTimeToSeconds(report.startup_latency) * 1000.0);
+  obs::Histogram* interframe = registry.GetHistogram(
+      "quasaq_playback_interframe_delay_ms",
+      "Client-side gap between consecutive frame arrivals",
+      obs::HistogramOptions{/*first_bound=*/1.0, /*growth=*/2.0,
+                            /*bucket_count=*/12});
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    interframe->Observe(SimTimeToSeconds(arrivals[i] - arrivals[i - 1]) *
+                        1000.0);
+  }
+}
+
+}  // namespace
+
 PlaybackReport SimulateClientPlayback(
     const std::vector<SimTime>& server_frame_times,
-    const PlaybackOptions& options) {
+    const PlaybackOptions& options, obs::MetricsRegistry* metrics) {
   PlaybackReport report;
   report.frames = static_cast<int>(server_frame_times.size());
   if (server_frame_times.empty()) return report;
@@ -46,6 +81,7 @@ PlaybackReport SimulateClientPlayback(
       in_stall = false;
     }
   }
+  if (metrics != nullptr) RecordPlayback(*metrics, report, arrivals);
   return report;
 }
 

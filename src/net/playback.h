@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "common/sim_time.h"
+#include "obs/metrics.h"
 
 // Client-side playback model. The paper measures server-side inter-frame
 // delays and notes that "data collected on the client side show similar
@@ -48,10 +49,14 @@ struct PlaybackReport {
 /// Plays out `server_frame_times` (the per-frame server completion
 /// times) at the client. When a frame misses its deadline the player
 /// stalls until the frame arrives and playback resumes shifted by the
-/// stall (the standard rebuffering model).
+/// stall (the standard rebuffering model). When `metrics` is non-null
+/// the run is recorded there too: frame/violation/underrun counters, a
+/// startup-latency histogram, and one inter-frame-delay observation per
+/// consecutive arrival pair — the paper's measured QoS quantity.
 PlaybackReport SimulateClientPlayback(
     const std::vector<SimTime>& server_frame_times,
-    const PlaybackOptions& options);
+    const PlaybackOptions& options,
+    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace quasaq::net
 

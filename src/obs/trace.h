@@ -1,0 +1,124 @@
+#ifndef QUASAQ_OBS_TRACE_H_
+#define QUASAQ_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "common/sync.h"
+
+// Per-session delivery traces over simulated time. Every delivery gets
+// its own *track* (rendered as one row), and the pipeline layers nest
+// spans on it as the query moves through them:
+//
+//   delivery                              admit -> ... -> complete/abort
+//   └─ delivery.admit                     facade-side admission
+//      └─ plan.enumerate                  PlanStream consumption
+//         └─ plan.reserve                 one Composite-API attempt
+//   └─ session.stream                     playback (start -> end)
+//      └─ session.renegotiate             mid-playback QoS change
+//      └─ session.paused                  pause -> resume window
+//
+// Spans follow stack discipline per track (Begin/End pairs nest), which
+// is exactly what the Chrome trace-event "B"/"E" phases encode, so
+// `ChromeTraceJson()` loads directly in chrome://tracing or Perfetto
+// (https://ui.perfetto.dev) with correct nesting — SimTime is already
+// microseconds, the unit the format's "ts" field expects. Admission
+// happens at one simulated instant, so admit-side spans render as
+// zero-width slices at the admit time; the streaming/pause spans carry
+// the real playback durations. The span hierarchy and how to open a
+// trace are documented in docs/OBSERVABILITY.md.
+//
+// Thread-safe: one leaf mutex guards the event buffer and per-track
+// span stacks, so lifecycle events may be emitted from inside
+// SessionManager's critical section. A disabled tracer (Options::
+// enabled = false) costs one branch per call and records nothing; a
+// bounded buffer (`max_events`) drops-and-counts instead of growing
+// without limit under long bench runs.
+
+namespace quasaq::obs {
+
+class Tracer {
+ public:
+  struct Options {
+    bool enabled = true;
+    // Hard cap on buffered events; once reached, Begin/Instant events
+    // are dropped (and counted) but End events still close open spans
+    // so nesting stays valid.
+    size_t max_events = 1 << 20;
+  };
+
+  // Span/event arguments, rendered into the trace event's "args".
+  using Args = std::vector<std::pair<std::string, std::string>>;
+
+  struct Event {
+    char phase = 'B';  // 'B' begin, 'E' end, 'i' instant
+    int64_t track = 0;
+    SimTime ts = 0;
+    std::string name;  // empty on 'E' (the matching 'B' names the span)
+    std::string category;
+    Args args;
+  };
+
+  Tracer() = default;
+  explicit Tracer(const Options& options) : options_(options) {}
+
+  bool enabled() const { return options_.enabled; }
+
+  /// Allocates a new track (one per delivery) and names its row.
+  int64_t NewTrack(std::string_view name) QUASAQ_EXCLUDES(mu_);
+
+  /// Opens a span on `track`. The category is the name's dotted prefix
+  /// ("plan.enumerate" -> "plan").
+  void Begin(int64_t track, std::string_view name, SimTime now,
+             Args args = {}) QUASAQ_EXCLUDES(mu_);
+
+  /// Closes the innermost open span on `track`. No-op when none is
+  /// open (a mismatched End is a bug, surfaced via `unbalanced_ends`).
+  void End(int64_t track, SimTime now, Args args = {}) QUASAQ_EXCLUDES(mu_);
+
+  /// Closes every open span on `track` (terminal events: a cancelled
+  /// session may die with stream + pause spans still open).
+  void EndAll(int64_t track, SimTime now) QUASAQ_EXCLUDES(mu_);
+
+  /// A point event on `track`.
+  void Instant(int64_t track, std::string_view name, SimTime now,
+               Args args = {}) QUASAQ_EXCLUDES(mu_);
+
+  /// Open span count on `track` (0 for unknown tracks).
+  int OpenSpans(int64_t track) const QUASAQ_EXCLUDES(mu_);
+
+  size_t event_count() const QUASAQ_EXCLUDES(mu_);
+  size_t dropped_events() const QUASAQ_EXCLUDES(mu_);
+  size_t unbalanced_ends() const QUASAQ_EXCLUDES(mu_);
+
+  /// Copy of the recorded events, in emission order (tests, exporters).
+  std::vector<Event> snapshot() const QUASAQ_EXCLUDES(mu_);
+
+  /// Chrome trace-event JSON: {"traceEvents": [...], ...}. Track names
+  /// become thread names so Perfetto labels each delivery's row.
+  std::string ChromeTraceJson() const QUASAQ_EXCLUDES(mu_);
+
+ private:
+  void Record(Event event) QUASAQ_REQUIRES(mu_);
+
+  Options options_;
+  mutable Mutex mu_;
+  std::vector<Event> events_ QUASAQ_GUARDED_BY(mu_);
+  // track -> names of currently open spans (a stack).
+  std::unordered_map<int64_t, std::vector<std::string>> open_spans_
+      QUASAQ_GUARDED_BY(mu_);
+  std::unordered_map<int64_t, std::string> track_names_
+      QUASAQ_GUARDED_BY(mu_);
+  int64_t next_track_ QUASAQ_GUARDED_BY(mu_) = 1;
+  size_t dropped_ QUASAQ_GUARDED_BY(mu_) = 0;
+  size_t unbalanced_ends_ QUASAQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace quasaq::obs
+
+#endif  // QUASAQ_OBS_TRACE_H_

@@ -46,6 +46,28 @@ CompositeQosApi::CompositeQosApi(ResourcePool* pool) : pool_(pool) {
   assert(pool_ != nullptr);
 }
 
+void CompositeQosApi::set_metrics(obs::MetricsRegistry* registry) {
+  MutexLock lock(&mu_);
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.reserve_accepted =
+      registry->GetCounter("quasaq_resource_reserve_accepted_total",
+                           "Reservations admission control granted");
+  metrics_.reserve_rejected =
+      registry->GetCounter("quasaq_resource_reserve_rejected_total",
+                           "Reservations admission control denied");
+  metrics_.released = registry->GetCounter(
+      "quasaq_resource_released_total", "Reservations released");
+  metrics_.renegotiate_accepted =
+      registry->GetCounter("quasaq_resource_renegotiate_accepted_total",
+                           "In-place reservation swaps that fit");
+  metrics_.renegotiate_rejected =
+      registry->GetCounter("quasaq_resource_renegotiate_rejected_total",
+                           "In-place reservation swaps that did not fit");
+}
+
 bool CompositeQosApi::Admissible(const ResourceVector& demand) const {
   return pool_->Fits(demand);
 }
@@ -56,9 +78,15 @@ Result<ReservationId> CompositeQosApi::Reserve(const ResourceVector& demand) {
   AccountAttempt(demand, status.ok());
   if (!status.ok()) {
     ++stats_.rejected;
+    if (metrics_.reserve_rejected != nullptr) {
+      metrics_.reserve_rejected->Increment();
+    }
     return status;
   }
   ++stats_.admitted;
+  if (metrics_.reserve_accepted != nullptr) {
+    metrics_.reserve_accepted->Increment();
+  }
   ReservationId id = next_id_++;
   reservations_.emplace(id, demand);
   return id;
@@ -75,6 +103,7 @@ Status CompositeQosApi::Release(ReservationId id) {
   Status released = pool_->Release(it->second);
   reservations_.erase(it);
   ++stats_.released;
+  if (metrics_.released != nullptr) metrics_.released->Increment();
   return released;
 }
 
@@ -98,10 +127,16 @@ Status CompositeQosApi::Renegotiate(ReservationId id,
     assert(restored.ok());
     (void)restored;
     ++stats_.renegotiation_failures;
+    if (metrics_.renegotiate_rejected != nullptr) {
+      metrics_.renegotiate_rejected->Increment();
+    }
     return status;
   }
   it->second = new_demand;
   ++stats_.renegotiations;
+  if (metrics_.renegotiate_accepted != nullptr) {
+    metrics_.renegotiate_accepted->Increment();
+  }
   return Status::Ok();
 }
 

@@ -7,6 +7,7 @@
 #include "common/resource_vector.h"
 #include "common/status.h"
 #include "common/sync.h"
+#include "obs/metrics.h"
 #include "resource/pool.h"
 
 // Composite QoS API (paper §3.5): the single entry point that hides the
@@ -91,7 +92,22 @@ class CompositeQosApi {
   /// to "what do we buy more of?".
   std::string BottleneckReport() const QUASAQ_EXCLUDES(mu_);
 
+  /// Mirrors reservation accept/reject/release/renegotiate accounting
+  /// into `registry` (nullptr detaches). The registry must outlive the
+  /// API object; call before the first Reserve.
+  void set_metrics(obs::MetricsRegistry* registry) QUASAQ_EXCLUDES(mu_);
+
  private:
+  // Registry handles resolved once in set_metrics; all nullptr when
+  // unobserved. Emitted under mu_ — the registry's locks are leaves.
+  struct Metrics {
+    obs::Counter* reserve_accepted = nullptr;
+    obs::Counter* reserve_rejected = nullptr;
+    obs::Counter* released = nullptr;
+    obs::Counter* renegotiate_accepted = nullptr;
+    obs::Counter* renegotiate_rejected = nullptr;
+  };
+
   // Charges per-kind request/denial accounting for one attempt.
   void AccountAttempt(const ResourceVector& demand, bool admitted)
       QUASAQ_REQUIRES(mu_);
@@ -103,6 +119,7 @@ class CompositeQosApi {
       QUASAQ_GUARDED_BY(mu_);
   Stats stats_ QUASAQ_GUARDED_BY(mu_);
   KindStats kind_stats_[kNumResourceKinds] QUASAQ_GUARDED_BY(mu_) = {};
+  Metrics metrics_ QUASAQ_GUARDED_BY(mu_);
 };
 
 }  // namespace quasaq::res

@@ -1,0 +1,34 @@
+#include "resource/telemetry.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+namespace quasaq::res {
+
+PoolTelemetry::PoolTelemetry(const ResourcePool* pool,
+                             obs::MetricsRegistry* registry)
+    : pool_(pool), registry_(registry) {
+  assert(pool_ != nullptr);
+  assert(registry_ != nullptr);
+}
+
+obs::Gauge* PoolTelemetry::GaugeFor(const BucketId& bucket) {
+  auto it = gauges_.find(bucket);
+  if (it != gauges_.end()) return it->second;
+  obs::Gauge* gauge = registry_->GetGauge(
+      "quasaq_resource_utilization_ratio",
+      "Bucket fill U_i / R_i the LRB cost model reads",
+      {{"site", std::to_string(bucket.site.value())},
+       {"kind", std::string(ResourceKindName(bucket.kind))}});
+  gauges_.emplace(bucket, gauge);
+  return gauge;
+}
+
+void PoolTelemetry::Sample(SimTime now) {
+  for (const BucketId& bucket : pool_->Buckets()) {
+    GaugeFor(bucket)->Sample(now, pool_->Utilization(bucket));
+  }
+}
+
+}  // namespace quasaq::res

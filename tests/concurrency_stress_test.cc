@@ -7,8 +7,11 @@
 
 #include "cache/cache_manager.h"
 #include "cache/segment_cache.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "core/session_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "resource/composite_api.h"
 #include "resource/pool.h"
 #include "simcore/simulator.h"
@@ -298,6 +301,132 @@ TEST(ConcurrencyStressTest, SessionLifecycleInterleavings) {
   EXPECT_EQ(api.active_reservations(), 0u);
   EXPECT_NEAR(pool.Used(Net(0)), 0.0, 1e-3);
   EXPECT_DOUBLE_EQ(manager.vdbms_active_kbps(SiteId(0)), 0.0);
+}
+
+// The metrics registry is the one object every instrumented subsystem
+// shares, so it gets hammered from all sides: lookups (which mutate the
+// family maps), CAS-loop increments, histogram observes, and full
+// exposition renders, all concurrently.
+TEST(ConcurrencyStressTest, MetricsRegistrySharedAndLabeledUpdates) {
+  obs::MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      const std::string thread_label = std::to_string(t);
+      for (int i = 0; i < kIterations; ++i) {
+        // Re-resolving every iteration stresses the registry lock, not
+        // just the instruments.
+        registry.GetCounter("quasaq_stress_ops_total", "all threads")
+            ->Increment();
+        registry
+            .GetCounter("quasaq_stress_thread_ops_total", "per thread",
+                        {{"thread", thread_label}})
+            ->Increment();
+        registry.GetGauge("quasaq_stress_level_count", "last writer wins")
+            ->Set(static_cast<double>(i));
+        registry
+            .GetHistogram("quasaq_stress_value_count", "observations",
+                          obs::HistogramOptions{1.0, 2.0, 8})
+            ->Observe(static_cast<double>(i % 50));
+        if (i % 97 == 0) {
+          EXPECT_FALSE(registry.PrometheusText().empty());
+          EXPECT_FALSE(registry.JsonSnapshot().empty());
+          EXPECT_GE(registry.MetricNames().size(), 1u);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The lock-free CAS loop must not lose increments.
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("quasaq_stress_ops_total", "all threads")->value(),
+      static_cast<double>(kThreads) * kIterations);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_DOUBLE_EQ(
+        registry
+            .GetCounter("quasaq_stress_thread_ops_total", "per thread",
+                        {{"thread", std::to_string(t)}})
+            ->value(),
+        static_cast<double>(kIterations));
+  }
+  EXPECT_EQ(registry
+                .GetHistogram("quasaq_stress_value_count", "observations",
+                              obs::HistogramOptions{1.0, 2.0, 8})
+                ->count(),
+            uint64_t{kThreads} * kIterations);
+}
+
+// Spans from many deliveries interleave in the shared event buffer but
+// each track keeps its own stack; concurrent exports must see a
+// consistent buffer.
+TEST(ConcurrencyStressTest, TracerParallelTracksStayBalanced) {
+  obs::Tracer tracer;
+  std::vector<int64_t> tracks(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    tracks[t] = tracer.NewTrack("stress track " + std::to_string(t));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, &tracks, t] {
+      const int64_t track = tracks[t];
+      for (int i = 0; i < kIterations; ++i) {
+        tracer.Begin(track, "delivery", SimTime(i));
+        tracer.Begin(track, "plan.enumerate", SimTime(i));
+        tracer.Instant(track, "plan.relax", SimTime(i));
+        tracer.End(track, SimTime(i));
+        if (i % 3 == 0) {
+          tracer.End(track, SimTime(i));
+        } else {
+          tracer.EndAll(track, SimTime(i));
+        }
+        if (i % 101 == 0) {
+          (void)tracer.snapshot();
+          (void)tracer.event_count();
+          EXPECT_FALSE(tracer.ChromeTraceJson().empty());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(tracer.unbalanced_ends(), 0u);
+  for (int64_t track : tracks) {
+    EXPECT_EQ(tracer.OpenSpans(track), 0);
+  }
+}
+
+// SetLogLevel/GetLogLevel are an atomic, so readers may race the writer
+// freely; every LogMessage consults the level in its constructor. The
+// messages themselves stay below the flipped levels so the test is
+// silent — the point is the level handshake, not the output.
+TEST(ConcurrencyStressTest, LogLevelFlipsWhileEveryThreadLogs) {
+  const LogLevel initial = GetLogLevel();
+  std::atomic<bool> stop{false};
+  std::thread flipper([&stop] {
+    const LogLevel levels[] = {LogLevel::kInfo, LogLevel::kWarning,
+                               LogLevel::kError};
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      SetLogLevel(levels[i++ % 3]);
+    }
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kIterations; ++i) {
+        QUASAQ_LOG(kDebug) << "thread " << t << " iteration " << i;
+        LogLevel seen = GetLogLevel();
+        EXPECT_GE(static_cast<int>(seen),
+                  static_cast<int>(LogLevel::kDebug));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+  SetLogLevel(initial);
 }
 
 }  // namespace

@@ -81,6 +81,31 @@ TEST(RunningStatsTest, MergeWithEmptySides) {
   EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
 }
 
+// Regression: merging an empty accumulator must be a no-op — in
+// particular it must not fold the empty side's zero-initialized
+// min/max into a stream whose real extremes are both above (or both
+// below) zero.
+TEST(RunningStatsTest, MergeEmptyDoesNotClobberExtremes) {
+  RunningStats positive;
+  positive.Add(5.0);
+  positive.Add(9.0);
+  positive.Merge(RunningStats());
+  EXPECT_DOUBLE_EQ(positive.min(), 5.0);
+  EXPECT_DOUBLE_EQ(positive.max(), 9.0);
+
+  RunningStats negative;
+  negative.Add(-9.0);
+  negative.Add(-5.0);
+  negative.Merge(RunningStats());
+  EXPECT_DOUBLE_EQ(negative.min(), -9.0);
+  EXPECT_DOUBLE_EQ(negative.max(), -5.0);
+
+  RunningStats empty;
+  empty.Merge(positive);
+  EXPECT_DOUBLE_EQ(empty.min(), 5.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 9.0);
+}
+
 TEST(TimeSeriesTest, MeanOverWindow) {
   TimeSeries series;
   series.Add(0, 10.0);
@@ -158,6 +183,18 @@ TEST(TimeSeriesTest, DownsampleSkipsEmptyBuckets) {
   series.Add(99 * kSecond, 2.0);
   auto buckets = series.Downsample(100 * kSecond, 10);
   EXPECT_EQ(buckets.size(), 2u);
+}
+
+// Regression: degenerate arguments return an empty result instead of
+// dividing by a zero bucket width (which asserted in debug builds and
+// was undefined behavior under NDEBUG).
+TEST(TimeSeriesTest, DownsampleDegenerateArgumentsReturnEmpty) {
+  TimeSeries series;
+  series.Add(kSecond, 1.0);
+  series.Add(2 * kSecond, 2.0);
+  EXPECT_TRUE(series.Downsample(100 * kSecond, 0).empty());
+  EXPECT_TRUE(series.Downsample(0, 10).empty());
+  EXPECT_TRUE(series.Downsample(-kSecond, 10).empty());
 }
 
 TEST(WindowedRateTest, CountsEventsPerWindow) {

@@ -34,6 +34,7 @@ from pathlib import Path
 # and may not include each other.
 LAYERS: list[tuple[str, ...]] = [
     ("common",),
+    ("obs",),
     ("media", "simcore"),
     ("cache", "query", "resource", "metadata"),
     ("net", "storage"),
