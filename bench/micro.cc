@@ -200,6 +200,27 @@ void BM_MetricsRegistryResolve(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsRegistryResolve);
 
+void BM_MetricsRegistryResolveMultiLabel(benchmark::State& state) {
+  // The multi-label lookup is where key serialization used to cost: the
+  // probe labels arrive unsorted and the child map compares them
+  // in-place against the canonical "k=v,k=v" keys, allocating nothing.
+  // A small population of sibling children keeps the comparator honest.
+  obs::MetricsRegistry registry;
+  for (int site = 0; site < 8; ++site) {
+    registry.GetCounter("quasaq_bench_sharded_total", "bench",
+                        {{"site", std::to_string(site)},
+                         {"kind", "disk"},
+                         {"op", "read"}});
+  }
+  for (auto _ : state) {
+    obs::Counter* counter = registry.GetCounter(
+        "quasaq_bench_sharded_total", "bench",
+        {{"site", "5"}, {"kind", "disk"}, {"op", "read"}});
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_MetricsRegistryResolveMultiLabel);
+
 void BM_HistogramObserve(benchmark::State& state) {
   obs::Histogram histogram(obs::HistogramOptions{1.0, 2.0, 24});
   double value = 0.0;

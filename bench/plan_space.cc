@@ -185,7 +185,15 @@ int main() {
       ++streamed_position;
       if (api.Admissible(next->plan.resources)) break;
     }
-    assert(streamed_position == eager_position);
+    // Equivalence is the point of the ablation, so check it even in
+    // release builds (the CI bench-smoke leg runs on exit status).
+    if (streamed_position != eager_position) {
+      std::fprintf(stderr,
+                   "streamed-vs-eager divergence: first admission at #%zu "
+                   "streamed vs #%zu eager\n",
+                   streamed_position, eager_position);
+      return 1;
+    }
 
     const core::PlanStream::Stats& stats = stream.stats();
     const char* tag = loaded ? "loaded" : "idle";

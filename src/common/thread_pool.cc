@@ -1,0 +1,49 @@
+#include "common/thread_pool.h"
+
+#include <cassert>
+#include <utility>
+
+namespace quasaq {
+
+ThreadPool::ThreadPool(int worker_count) {
+  assert(worker_count >= 1);
+  workers_.reserve(static_cast<size_t>(worker_count));
+  for (int i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    MutexLock lock(&mu_);
+    shutdown_ = true;
+  }
+  work_cv_.SignalAll();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    MutexLock lock(&mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.Signal();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      MutexLock lock(&mu_);
+      work_cv_.Await(&mu_, [this]() QUASAQ_REQUIRES(mu_) {
+        return shutdown_ || !queue_.empty();
+      });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace quasaq

@@ -1,0 +1,76 @@
+#ifndef QUASAQ_COMMON_THREAD_POOL_H_
+#define QUASAQ_COMMON_THREAD_POOL_H_
+
+#include <deque>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/sync.h"
+
+// A fixed-size worker pool for CPU-bound fan-out inside a single
+// operation — the plan-costing parallelism of core/plan_stream.h costs
+// one (replica, site) group per worker and joins before merging. Tasks
+// must not block on each other: the pool has no work stealing and a
+// task waiting for a later-queued task deadlocks. Submit is safe from
+// any thread, including from multiple concurrent PlanStreams sharing
+// one pool.
+
+namespace quasaq {
+
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` (>= 1) threads immediately; they idle on a
+  /// condition variable until work arrives.
+  explicit ThreadPool(int worker_count);
+  /// Drains the queue (queued tasks still run) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task) QUASAQ_EXCLUDES(mu_);
+
+ private:
+  void WorkerLoop();
+
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::function<void()>> queue_ QUASAQ_GUARDED_BY(mu_);
+  bool shutdown_ QUASAQ_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // immutable after construction
+};
+
+// Counts a fixed number of task completions and lets one caller block
+// until all of them happened — the join half of a Submit fan-out.
+class BlockingCounter {
+ public:
+  explicit BlockingCounter(int initial_count) : count_(initial_count) {}
+
+  BlockingCounter(const BlockingCounter&) = delete;
+  BlockingCounter& operator=(const BlockingCounter&) = delete;
+
+  /// Called by each task when done; the last call wakes the waiter.
+  void DecrementCount() QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    if (--count_ == 0) cv_.SignalAll();
+  }
+
+  /// Blocks until the count reaches zero.
+  void Wait() QUASAQ_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    cv_.Await(&mu_, [this]() QUASAQ_REQUIRES(mu_) { return count_ == 0; });
+  }
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int count_ QUASAQ_GUARDED_BY(mu_);
+};
+
+}  // namespace quasaq
+
+#endif  // QUASAQ_COMMON_THREAD_POOL_H_

@@ -20,12 +20,7 @@ double RuntimeCostEvaluator::EfficiencyCost(
 
 double RuntimeCostEvaluator::NormalizedDemand(const Plan& plan,
                                               const res::ResourcePool& pool) {
-  double demand = 0.0;
-  for (const ResourceVector::Entry& e : plan.resources.entries()) {
-    double capacity = pool.Capacity(e.bucket);
-    if (capacity > 0.0) demand += e.amount / capacity;
-  }
-  return demand;
+  return pool.FractionalDemand(plan.resources);
 }
 
 bool RuntimeCostEvaluator::SupportsCostLowerBound() const {

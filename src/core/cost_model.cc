@@ -22,15 +22,11 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
 
 double LrbCostModel::Cost(const ResourceVector& demand,
                           const res::ResourcePool& pool) {
-  // Start from the fullest untouched bucket, then overlay the demand.
-  double max_fill = 0.0;
-  for (const BucketId& bucket : pool.Buckets()) {
-    double capacity = pool.Capacity(bucket);
-    if (capacity <= 0.0) continue;
-    double fill = (pool.Used(bucket) + demand.Get(bucket)) / capacity;
-    max_fill = std::max(max_fill, fill);
-  }
-  return max_fill;
+  // Fullest bucket once the demand is overlaid. The bulk read keeps
+  // the whole scan inside one pool-lock acquisition, so concurrent
+  // admissions costing hundreds of plans don't serialize on per-bucket
+  // getters.
+  return pool.OverlayMaxFill(demand);
 }
 
 double RandomCostModel::Cost(const ResourceVector& demand,
@@ -42,27 +38,14 @@ double RandomCostModel::Cost(const ResourceVector& demand,
 
 double MinTotalCostModel::Cost(const ResourceVector& demand,
                                const res::ResourcePool& pool) {
-  double total = 0.0;
-  for (const ResourceVector::Entry& e : demand.entries()) {
-    double capacity = pool.Capacity(e.bucket);
-    if (capacity <= 0.0) continue;
-    total += e.amount / capacity;
-  }
-  return total;
+  return pool.FractionalDemand(demand);
 }
 
 double WeightedSumCostModel::Cost(const ResourceVector& demand,
                                   const res::ResourcePool& pool) {
   // Quadratic fill penalty: loading an already-hot bucket costs more
   // than the same demand on a cold one.
-  double total = 0.0;
-  for (const BucketId& bucket : pool.Buckets()) {
-    double capacity = pool.Capacity(bucket);
-    if (capacity <= 0.0) continue;
-    double fill = (pool.Used(bucket) + demand.Get(bucket)) / capacity;
-    total += fill * fill;
-  }
-  return total;
+  return pool.OverlaySquaredFill(demand);
 }
 
 std::unique_ptr<CostModel> MakeCostModel(std::string_view name,

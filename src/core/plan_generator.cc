@@ -14,30 +14,50 @@ PlanGenerator::PlanGenerator(meta::DistributedMetadataEngine* metadata,
   if (options_.transcode_targets.empty()) {
     options_.transcode_targets = media::QualityLadder::Standard().levels;
   }
-}
 
-std::vector<media::EncryptionAlgorithm> PlanGenerator::EncryptionChoices(
-    const query::QosRequirement& qos) const {
-  std::vector<media::EncryptionAlgorithm> choices;
+  // A3 candidates depend only on the options — fixed once.
+  drop_choices_.push_back(media::FrameDropStrategy::kNone);
+  if (options_.enable_frame_dropping) {
+    drop_choices_.push_back(media::FrameDropStrategy::kHalfBFrames);
+    drop_choices_.push_back(media::FrameDropStrategy::kAllBFrames);
+    drop_choices_.push_back(media::FrameDropStrategy::kAllBAndPFrames);
+  }
+
+  // A5 candidates per minimum security level (one table entry per
+  // SecurityLevel value; a single raw-space entry when pruning is off).
   if (!options_.apply_static_pruning) {
     // Raw space: every algorithm, including none.
+    std::vector<media::EncryptionAlgorithm> raw;
     for (int i = 0; i < media::kNumEncryptionAlgorithms; ++i) {
-      choices.push_back(static_cast<media::EncryptionAlgorithm>(i));
+      raw.push_back(static_cast<media::EncryptionAlgorithm>(i));
     }
-    return choices;
-  }
-  if (qos.min_security == media::SecurityLevel::kNone) {
-    // Encrypting an unprotected stream wastes CPU cycles — pruned.
-    choices.push_back(media::EncryptionAlgorithm::kNone);
-    return choices;
-  }
-  for (int i = 0; i < media::kNumEncryptionAlgorithms; ++i) {
-    auto algorithm = static_cast<media::EncryptionAlgorithm>(i);
-    if (media::EncryptionStrength(algorithm) >= qos.min_security) {
-      choices.push_back(algorithm);
+    encryption_choices_.push_back(std::move(raw));
+  } else {
+    for (int level = 0;
+         level <= static_cast<int>(media::SecurityLevel::kStrong); ++level) {
+      std::vector<media::EncryptionAlgorithm> choices;
+      if (static_cast<media::SecurityLevel>(level) ==
+          media::SecurityLevel::kNone) {
+        // Encrypting an unprotected stream wastes CPU cycles — pruned.
+        choices.push_back(media::EncryptionAlgorithm::kNone);
+      } else {
+        for (int i = 0; i < media::kNumEncryptionAlgorithms; ++i) {
+          auto algorithm = static_cast<media::EncryptionAlgorithm>(i);
+          if (media::EncryptionStrength(algorithm) >=
+              static_cast<media::SecurityLevel>(level)) {
+            choices.push_back(algorithm);
+          }
+        }
+      }
+      encryption_choices_.push_back(std::move(choices));
     }
   }
-  return choices;
+}
+
+const std::vector<media::EncryptionAlgorithm>&
+PlanGenerator::EncryptionChoices(const query::QosRequirement& qos) const {
+  if (!options_.apply_static_pruning) return encryption_choices_.front();
+  return encryption_choices_[static_cast<size_t>(qos.min_security)];
 }
 
 Result<std::vector<PlanGenerator::GroupSeed>> PlanGenerator::EnumerateGroups(
@@ -74,19 +94,15 @@ void PlanGenerator::ExpandGroup(const GroupSeed& seed,
                                 std::vector<Plan>& out) const {
   const media::ReplicaInfo& replica = seed.replica;
 
-  std::vector<media::FrameDropStrategy> drops = {
-      media::FrameDropStrategy::kNone};
-  if (options_.enable_frame_dropping) {
-    drops.push_back(media::FrameDropStrategy::kHalfBFrames);
-    drops.push_back(media::FrameDropStrategy::kAllBFrames);
-    drops.push_back(media::FrameDropStrategy::kAllBAndPFrames);
-  }
-  std::vector<media::EncryptionAlgorithm> encryptions =
+  const std::vector<media::FrameDropStrategy>& drops = drop_choices_;
+  const std::vector<media::EncryptionAlgorithm>& encryptions =
       EncryptionChoices(qos);
 
   // A4 candidates for this replica: stay at stored quality, or any
   // target the source quality can be down-converted to.
-  std::vector<std::optional<media::AppQos>> targets = {std::nullopt};
+  std::vector<std::optional<media::AppQos>> targets;
+  targets.reserve(1 + options_.transcode_targets.size());
+  targets.push_back(std::nullopt);
   if (options_.enable_transcoding) {
     for (const media::AppQos& target : options_.transcode_targets) {
       if (options_.apply_static_pruning &&
@@ -99,6 +115,13 @@ void PlanGenerator::ExpandGroup(const GroupSeed& seed,
       targets.push_back(target);
     }
   }
+
+  // Upper bound on this group's yield: the full cross product, doubled
+  // when every plan gets a cache-served twin. One reservation instead
+  // of a reallocation per surviving candidate.
+  out.reserve(out.size() + targets.size() * drops.size() *
+                               encryptions.size() *
+                               (seed.cache_fraction > 0.0 ? 2 : 1));
 
   for (const std::optional<media::AppQos>& target : targets) {
     for (media::FrameDropStrategy drop : drops) {

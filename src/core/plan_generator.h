@@ -49,6 +49,18 @@ class PlanGenerator {
     // materializing and ranking every plan. The ranking order is
     // identical either way; set to false to benchmark the eager path.
     bool lazy_enumeration = true;
+    // Parallel plan costing (lazy path only): PlanStream expands and
+    // costs (replica, site) groups concurrently on a small worker pool
+    // instead of one group at a time. Yield order stays bit-identical
+    // to the serial walk — extra early expansions only turn admissible
+    // lower bounds into exact keys — but only when the cost model
+    // supports a sound lower bound (pure LRB, no gain function);
+    // stateful models fall back to the serial walk so their per-plan
+    // call order is preserved.
+    bool parallel_costing = false;
+    // Worker threads for parallel costing; 0 picks a small default from
+    // the hardware concurrency.
+    int costing_threads = 0;
     // Candidate transcode targets (defaults to the standard ladder).
     std::vector<media::AppQos> transcode_targets;
     // Cache-served plan variants (requires a cache view, see below):
@@ -117,13 +129,23 @@ class PlanGenerator {
   const cache::CacheView* cache_view() const { return cache_view_; }
 
  private:
-  std::vector<media::EncryptionAlgorithm> EncryptionChoices(
+  // The A5 candidates for a query's minimum security level, served from
+  // a table precomputed at construction — ExpandGroup runs once per
+  // (replica, site) group per query, so rebuilding these per call was
+  // measurable allocator traffic on the admission hot path.
+  const std::vector<media::EncryptionAlgorithm>& EncryptionChoices(
       const query::QosRequirement& qos) const;
 
   meta::DistributedMetadataEngine* metadata_;
   std::vector<SiteId> sites_;
   Options options_;
   const cache::CacheView* cache_view_ = nullptr;
+  // Immutable after construction (thread-compatible with concurrent
+  // ExpandGroup calls).
+  std::vector<media::FrameDropStrategy> drop_choices_;
+  // Indexed by static_cast<int>(SecurityLevel); raw space at slot 0
+  // when static pruning is off.
+  std::vector<std::vector<media::EncryptionAlgorithm>> encryption_choices_;
 };
 
 }  // namespace quasaq::core

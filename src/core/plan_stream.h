@@ -8,6 +8,7 @@
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/cost_evaluator.h"
 #include "core/plan.h"
 #include "core/plan_generator.h"
@@ -64,15 +65,38 @@ class PlanStream {
   /// search space of `content` under `qos` as seen from `query_site`;
   /// costs are evaluated against `pool`'s usage at expansion time, so a
   /// stream must be consumed before reservations move the pool.
+  ///
+  /// When `costing_pool` is non-null and the evaluator supports a sound
+  /// cost lower bound, group expansion + costing fans out over the pool
+  /// (see PlanGenerator::Options::parallel_costing): the top run of
+  /// unexpanded groups on the frontier is costed concurrently, one
+  /// group per worker, and merged back in frontier order. Yield order
+  /// is bit-identical to the serial walk — a plan is yielded only when
+  /// its exact key beats every remaining bound, and eagerly expanding a
+  /// group only replaces its bound with exact keys that are >= it.
+  /// Pruning statistics may count fewer pruned groups (the batch
+  /// expands groups the serial walk might never have touched).
   PlanStream(const PlanGenerator* generator,
              const RuntimeCostEvaluator* evaluator,
              const res::ResourcePool* pool, SiteId query_site,
              LogicalOid content, const query::QosRequirement& qos,
-             SimTime* metadata_latency = nullptr);
+             SimTime* metadata_latency = nullptr,
+             ThreadPool* costing_pool = nullptr);
 
   /// Construction failure (kNotFound when no replica exists). A failed
   /// stream yields nothing.
   const Status& status() const { return status_; }
+
+  /// Re-arms the stream over the already-enumerated (replica, site)
+  /// groups for a new QoS window: pending plans and frontier state are
+  /// discarded, group bounds are recomputed against the pool's current
+  /// usage, and enumeration restarts from scratch — without re-fetching
+  /// metadata. This is how a renegotiation's relaxation rounds reuse
+  /// one stream instead of re-seeding enumeration per round. The
+  /// cumulative stats keep counting across rounds (groups grows by the
+  /// group count per round, so groups_pruned() stays consistent).
+  /// No-op on a failed stream.
+  void Reset(const query::QosRequirement& qos);
 
   /// The next plan in ranking order, or nullopt when the space is
   /// exhausted.
@@ -115,17 +139,27 @@ class PlanStream {
     }
   };
 
+  // Pushes every group's lower-bound entry onto the frontier and
+  // refreshes the parallel-costing decision for the current evaluator
+  // state (a gain function installed since the last round disables the
+  // bound, and with it the fan-out).
+  void SeedFrontier();
   void ExpandGroup(size_t group_index);
+  // Expands and costs `batch` concurrently on costing_pool_, then
+  // merges the results in batch (= frontier pop) order.
+  void ExpandGroupBatch(const std::vector<size_t>& batch);
 
   const PlanGenerator* generator_;
   const RuntimeCostEvaluator* evaluator_;
   const res::ResourcePool* pool_;
+  ThreadPool* costing_pool_;
   query::QosRequirement qos_;
   Status status_;
   std::vector<PlanGenerator::GroupSeed> groups_;
   std::vector<Ranked> plans_;  // materialized plans, stable slots
   std::priority_queue<Entry, std::vector<Entry>, EntryAfter> frontier_;
   Stats stats_;
+  bool parallel_ = false;  // recomputed by SeedFrontier
 };
 
 }  // namespace quasaq::core

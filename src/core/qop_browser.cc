@@ -57,7 +57,8 @@ Result<MediaDbSystem::DeliveryOutcome> QopBrowser::ChangeQuality(
   qos.range = profile_.Translate(request);
   qos.min_security = request.security;
   Result<MediaDbSystem::DeliveryOutcome> outcome =
-      system_->ChangeSessionQos(presentation_.delivery.session, qos);
+      system_->ChangeSessionQos(presentation_.delivery.session, qos,
+                                &profile_);
   if (outcome.ok()) presentation_.delivery = *outcome;
   return outcome;
 }

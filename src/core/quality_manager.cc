@@ -1,7 +1,10 @@
 #include "core/quality_manager.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <optional>
+#include <thread>
 
 namespace quasaq::core {
 
@@ -15,6 +18,32 @@ QualityManager::QualityManager(meta::DistributedMetadataEngine* metadata,
       evaluator_(cost_model),
       options_(options) {
   assert(qos_api_ != nullptr);
+  if (options_.generator.parallel_costing) {
+    int threads = options_.generator.costing_threads;
+    if (threads <= 0) {
+      // A small pool: group expansion is short work and the merge is
+      // serial, so a handful of workers saturates the win.
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+    }
+    threads = std::clamp(threads, 1, 8);
+    costing_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+QualityManager::Stats QualityManager::stats() const {
+  Stats snapshot;
+  snapshot.queries = stats_.queries.load(std::memory_order_relaxed);
+  snapshot.admitted = stats_.admitted.load(std::memory_order_relaxed);
+  snapshot.rejected_no_plan =
+      stats_.rejected_no_plan.load(std::memory_order_relaxed);
+  snapshot.rejected_no_resources =
+      stats_.rejected_no_resources.load(std::memory_order_relaxed);
+  snapshot.renegotiated = stats_.renegotiated.load(std::memory_order_relaxed);
+  snapshot.plans_generated =
+      stats_.plans_generated.load(std::memory_order_relaxed);
+  snapshot.groups_pruned =
+      stats_.groups_pruned.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 void QualityManager::set_observability(obs::Observability* observability) {
@@ -37,6 +66,11 @@ void QualityManager::set_observability(obs::Observability* observability) {
   metrics_.relaxations =
       reg.GetCounter("quasaq_plan_relaxations_total",
                      "Second-chance QoS relaxation rounds attempted");
+  metrics_.renegotiations =
+      reg.GetCounter("quasaq_plan_renegotiations_total",
+                     "Mid-playback renegotiations planned (counted once "
+                     "per renegotiation, however many relaxation rounds "
+                     "it retried)");
   metrics_.generated = reg.GetCounter("quasaq_plan_generated_total",
                                       "Plans materialized and costed");
   metrics_.groups_pruned =
@@ -97,19 +131,12 @@ void QualityManager::ConfigureGain(const query::QosRequirement& qos) {
   if (options_.goal == OptimizationGoal::kUserSatisfaction) {
     evaluator_.set_gain_function(
         MakeSatisfactionGain(qos.range, options_.utility_weights));
-  } else {
+  } else if (evaluator_.has_gain_function()) {
+    // Throughput goal: the gain stays null. Skipping the redundant
+    // clear keeps concurrent throughput-goal admissions write-free on
+    // the evaluator.
     evaluator_.set_gain_function(nullptr);
   }
-}
-
-Result<QualityManager::Admitted> QualityManager::TryAdmit(
-    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
-    bool* had_plans) {
-  ConfigureGain(qos);
-  if (generator_.options().lazy_enumeration) {
-    return TryAdmitStreamed(query_site, content, qos, had_plans);
-  }
-  return TryAdmitEager(query_site, content, qos, had_plans);
 }
 
 Result<QualityManager::Admitted> QualityManager::TryAdmitEager(
@@ -156,12 +183,9 @@ Result<QualityManager::Admitted> QualityManager::TryAdmitEager(
   return Status::ResourceExhausted("no admittable plan");
 }
 
-Result<QualityManager::Admitted> QualityManager::TryAdmitStreamed(
-    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
-    bool* had_plans) {
-  PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(), query_site,
-                    content, qos);
-  if (!stream.status().ok()) return stream.status();
+Result<QualityManager::Admitted> QualityManager::TryAdmitWithStream(
+    PlanStream& stream, bool* had_plans) {
+  const size_t generated_before = stream.stats().plans_generated;
   // On the streamed path enumeration and admission interleave, so one
   // plan.enumerate span covers the whole walk; reservation of the
   // winning plan still gets its own nested plan.reserve span.
@@ -194,13 +218,11 @@ Result<QualityManager::Admitted> QualityManager::TryAdmitStreamed(
     result = std::move(admitted);
     break;
   }
-  stats_.plans_generated += stream.stats().plans_generated;
-  stats_.groups_pruned += stream.groups_pruned();
+  const size_t generated =
+      stream.stats().plans_generated - generated_before;
+  stats_.plans_generated += generated;
   if (metrics_.generated != nullptr) {
-    metrics_.generated->Increment(
-        static_cast<double>(stream.stats().plans_generated));
-    metrics_.groups_pruned->Increment(
-        static_cast<double>(stream.groups_pruned()));
+    metrics_.generated->Increment(static_cast<double>(generated));
     // How decisively the lower bound cut the rest of the space off: the
     // frontier's best remaining bound relative to the admitted cost.
     std::optional<double> bound = stream.FrontierBound();
@@ -208,12 +230,18 @@ Result<QualityManager::Admitted> QualityManager::TryAdmitStreamed(
       metrics_.cutoff_margin->Observe(*bound / admitted_cost);
     }
   }
-  TraceEnd({{"plans", std::to_string(stream.stats().plans_generated)},
+  TraceEnd({{"plans", std::to_string(generated)},
             {"pruned", std::to_string(stream.groups_pruned())}});
-  if (!result.ok() && !*had_plans) {
-    return Status::NotFound("no plan satisfies the QoS bounds");
-  }
   return result;
+}
+
+void QualityManager::AccountStreamPruning(const PlanStream& stream) {
+  if (!stream.status().ok()) return;
+  stats_.groups_pruned += stream.groups_pruned();
+  if (metrics_.groups_pruned != nullptr) {
+    metrics_.groups_pruned->Increment(
+        static_cast<double>(stream.groups_pruned()));
+  }
 }
 
 Result<QualityManager::Admitted> QualityManager::AdmitQuery(
@@ -222,18 +250,35 @@ Result<QualityManager::Admitted> QualityManager::AdmitQuery(
   ++stats_.queries;
   if (metrics_.queries != nullptr) metrics_.queries->Increment();
   TraceBegin("delivery.admit");
-  const uint64_t generated_before = stats_.plans_generated;
+  const uint64_t generated_before =
+      stats_.plans_generated.load(std::memory_order_relaxed);
   auto observe_per_query = [&] {
     if (metrics_.per_query != nullptr) {
-      metrics_.per_query->Observe(
-          static_cast<double>(stats_.plans_generated - generated_before));
+      metrics_.per_query->Observe(static_cast<double>(
+          stats_.plans_generated.load(std::memory_order_relaxed) -
+          generated_before));
     }
   };
+  ConfigureGain(qos);
+  const bool lazy = generator_.options().lazy_enumeration;
+  // The streamed path opens one PlanStream for the whole admission —
+  // relaxation rounds Reset() it over the already-enumerated groups
+  // instead of re-fetching metadata and re-seeding per round.
+  std::optional<PlanStream> stream;
   bool had_plans = false;
-  Result<Admitted> attempt = TryAdmit(query_site, content, qos, &had_plans);
+  Result<Admitted> attempt = Status::ResourceExhausted("unreached");
+  if (lazy) {
+    stream.emplace(&generator_, &evaluator_, &qos_api_->pool(), query_site,
+                   content, qos, nullptr, costing_pool());
+    attempt = stream->status().ok() ? TryAdmitWithStream(*stream, &had_plans)
+                                    : Result<Admitted>(stream->status());
+  } else {
+    attempt = TryAdmitEager(query_site, content, qos, &had_plans);
+  }
   if (attempt.ok()) {
     ++stats_.admitted;
     if (metrics_.admitted != nullptr) metrics_.admitted->Increment();
+    if (stream.has_value()) AccountStreamPruning(*stream);
     observe_per_query();
     TraceEnd({{"outcome", "admitted"}});
     return attempt;
@@ -248,14 +293,21 @@ Result<QualityManager::Admitted> QualityManager::AdmitQuery(
       if (!profile->RelaxForRenegotiation(relaxed.range)) break;
       if (metrics_.relaxations != nullptr) metrics_.relaxations->Increment();
       TraceInstant("plan.relax");
+      ConfigureGain(relaxed);
       had_plans = false;
-      Result<Admitted> retry =
-          TryAdmit(query_site, content, relaxed, &had_plans);
+      Result<Admitted> retry = Status::ResourceExhausted("unreached");
+      if (stream.has_value() && stream->status().ok()) {
+        stream->Reset(relaxed);
+        retry = TryAdmitWithStream(*stream, &had_plans);
+      } else {
+        retry = TryAdmitEager(query_site, content, relaxed, &had_plans);
+      }
       any_plans_seen = any_plans_seen || had_plans;
       if (retry.ok()) {
         ++stats_.admitted;
         ++stats_.renegotiated;
         if (metrics_.admitted != nullptr) metrics_.admitted->Increment();
+        if (stream.has_value()) AccountStreamPruning(*stream);
         observe_per_query();
         retry->renegotiated = true;
         TraceEnd({{"outcome", "admitted_relaxed"},
@@ -265,6 +317,7 @@ Result<QualityManager::Admitted> QualityManager::AdmitQuery(
     }
   }
 
+  if (stream.has_value()) AccountStreamPruning(*stream);
   observe_per_query();
   if (any_plans_seen) {
     ++stats_.rejected_no_resources;
@@ -295,7 +348,7 @@ Result<std::vector<QualityManager::RankedPlan>> QualityManager::ExplainPlans(
   ConfigureGain(qos);
   if (generator_.options().lazy_enumeration) {
     PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(),
-                      query_site, content, qos);
+                      query_site, content, qos, nullptr, costing_pool());
     if (!stream.status().ok()) return stream.status();
     std::vector<RankedPlan> ranked;
     while (ranked.size() < limit) {
@@ -350,80 +403,165 @@ std::string QualityManager::FormatPlanListing(
   return out;
 }
 
-Result<QualityManager::Admitted> QualityManager::RenegotiateDelivery(
-    res::ReservationId id, SiteId query_site, LogicalOid content,
-    const query::QosRequirement& qos) {
-  if (qos_api_->Find(id) == nullptr) {
-    return Status::NotFound("unknown reservation");
+Result<QualityManager::Admitted> QualityManager::RenegotiateImpl(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    const UserProfile* profile,
+    const std::function<Status(const ResourceVector&)>& adopt,
+    res::ReservationId reservation) {
+  // One renegotiation — however many relaxation rounds it retries below
+  // — counts once. Counting per round double-counted retried
+  // renegotiations in the exposition.
+  if (metrics_.renegotiations != nullptr) {
+    metrics_.renegotiations->Increment();
   }
   ConfigureGain(qos);
-  if (generator_.options().lazy_enumeration) {
-    PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(),
-                      query_site, content, qos);
-    if (!stream.status().ok()) return stream.status();
+
+  // One admission walk at fixed bounds; used per relaxation round.
+  auto walk = [&](PlanStream& stream, bool* had_plans) -> Result<Admitted> {
+    const size_t generated_before = stream.stats().plans_generated;
     TraceBegin("plan.enumerate");
-    bool had_plans = false;
     Result<Admitted> result = Status::ResourceExhausted(
         "no admittable plan for the renegotiated QoS");
     while (std::optional<PlanStream::Ranked> ranked = stream.Next()) {
-      had_plans = true;
+      *had_plans = true;
       TraceBegin("plan.reserve");
-      Status status = qos_api_->Renegotiate(id, ranked->plan.resources);
+      Status status = adopt(ranked->plan.resources);
       if (!status.ok()) {
         TraceEnd({{"outcome", "rejected"}});
         continue;
       }
       Admitted admitted;
       admitted.plan = std::move(ranked->plan);
-      admitted.reservation = id;
+      admitted.reservation = reservation;
       admitted.renegotiated = true;
       TraceEnd({{"site",
                  std::to_string(admitted.plan.delivery_site.value())}});
       result = std::move(admitted);
       break;
     }
-    stats_.plans_generated += stream.stats().plans_generated;
-    stats_.groups_pruned += stream.groups_pruned();
+    const size_t generated =
+        stream.stats().plans_generated - generated_before;
+    stats_.plans_generated += generated;
     if (metrics_.generated != nullptr) {
-      metrics_.generated->Increment(
-          static_cast<double>(stream.stats().plans_generated));
-      metrics_.groups_pruned->Increment(
-          static_cast<double>(stream.groups_pruned()));
+      metrics_.generated->Increment(static_cast<double>(generated));
     }
-    TraceEnd({{"plans", std::to_string(stream.stats().plans_generated)}});
-    if (!result.ok() && !had_plans) {
+    TraceEnd({{"plans", std::to_string(generated)}});
+    return result;
+  };
+
+  if (generator_.options().lazy_enumeration) {
+    PlanStream stream(&generator_, &evaluator_, &qos_api_->pool(),
+                      query_site, content, qos, nullptr, costing_pool());
+    if (!stream.status().ok()) return stream.status();
+    bool had_plans = false;
+    Result<Admitted> result = walk(stream, &had_plans);
+    bool any_plans_seen = had_plans;
+    if (!result.ok() && options_.enable_renegotiation &&
+        profile != nullptr) {
+      // Relaxation rounds reuse the session's still-open stream: the
+      // (replica, site) groups stay enumerated, only the QoS window
+      // and the frontier re-arm.
+      query::QosRequirement relaxed = qos;
+      for (int round = 0; round < options_.max_renegotiation_rounds;
+           ++round) {
+        if (!profile->RelaxForRenegotiation(relaxed.range)) break;
+        if (metrics_.relaxations != nullptr) {
+          metrics_.relaxations->Increment();
+        }
+        TraceInstant("plan.relax");
+        ConfigureGain(relaxed);
+        stream.Reset(relaxed);
+        had_plans = false;
+        result = walk(stream, &had_plans);
+        any_plans_seen = any_plans_seen || had_plans;
+        if (result.ok()) break;
+      }
+    }
+    AccountStreamPruning(stream);
+    if (!result.ok() && !any_plans_seen) {
       return Status::NotFound("no plan satisfies the new QoS bounds");
     }
     return result;
   }
 
-  TraceBegin("plan.enumerate");
-  Result<std::vector<Plan>> plans =
-      generator_.Generate(query_site, content, qos);
-  if (!plans.ok()) {
-    TraceEnd();
-    return plans.status();
+  // Eager ablation path: regenerate per round.
+  query::QosRequirement bounds = qos;
+  bool any_plans_seen = false;
+  Result<Admitted> result = Status::ResourceExhausted(
+      "no admittable plan for the renegotiated QoS");
+  for (int round = 0; round <= options_.max_renegotiation_rounds; ++round) {
+    if (round > 0) {
+      if (!options_.enable_renegotiation || profile == nullptr ||
+          !profile->RelaxForRenegotiation(bounds.range)) {
+        break;
+      }
+      if (metrics_.relaxations != nullptr) metrics_.relaxations->Increment();
+      TraceInstant("plan.relax");
+      ConfigureGain(bounds);
+    }
+    TraceBegin("plan.enumerate");
+    Result<std::vector<Plan>> plans =
+        generator_.Generate(query_site, content, bounds);
+    if (!plans.ok()) {
+      TraceEnd();
+      return plans.status();
+    }
+    stats_.plans_generated += plans->size();
+    if (metrics_.generated != nullptr) {
+      metrics_.generated->Increment(static_cast<double>(plans->size()));
+    }
+    TraceEnd({{"plans", std::to_string(plans->size())}});
+    any_plans_seen = any_plans_seen || !plans->empty();
+    if (plans->empty()) continue;
+    evaluator_.Rank(*plans, qos_api_->pool());
+    for (Plan& plan : *plans) {
+      Status status = adopt(plan.resources);
+      if (!status.ok()) continue;
+      Admitted admitted;
+      admitted.plan = std::move(plan);
+      admitted.reservation = reservation;
+      admitted.renegotiated = true;
+      result = std::move(admitted);
+      break;
+    }
+    if (result.ok()) break;
   }
-  stats_.plans_generated += plans->size();
-  if (metrics_.generated != nullptr) {
-    metrics_.generated->Increment(static_cast<double>(plans->size()));
-  }
-  TraceEnd({{"plans", std::to_string(plans->size())}});
-  if (plans->empty()) {
+  if (!result.ok() && !any_plans_seen) {
     return Status::NotFound("no plan satisfies the new QoS bounds");
   }
-  evaluator_.Rank(*plans, qos_api_->pool());
-  for (Plan& plan : *plans) {
-    Status status = qos_api_->Renegotiate(id, plan.resources);
-    if (!status.ok()) continue;
-    Admitted admitted;
-    admitted.plan = std::move(plan);
-    admitted.reservation = id;
-    admitted.renegotiated = true;
-    return admitted;
+  return result;
+}
+
+Result<QualityManager::Admitted> QualityManager::RenegotiateDelivery(
+    res::ReservationId id, SiteId query_site, LogicalOid content,
+    const query::QosRequirement& qos, const UserProfile* profile) {
+  if (qos_api_->Find(id) == nullptr) {
+    return Status::NotFound("unknown reservation");
   }
-  return Status::ResourceExhausted(
-      "no admittable plan for the renegotiated QoS");
+  return RenegotiateImpl(
+      query_site, content, qos, profile,
+      [this, id](const ResourceVector& resources) {
+        return qos_api_->Renegotiate(id, resources);
+      },
+      id);
+}
+
+Result<QualityManager::Admitted> QualityManager::PlanPausedRenegotiation(
+    SiteId query_site, LogicalOid content, const query::QosRequirement& qos,
+    const UserProfile* profile) {
+  return RenegotiateImpl(
+      query_site, content, qos, profile,
+      [this](const ResourceVector& resources) {
+        // Admission probe: the paused session must be able to carry the
+        // plan *now*, but nothing may stay held — Resume re-admits the
+        // adopted vector when playback actually restarts.
+        Result<res::ReservationId> probe = qos_api_->Reserve(resources);
+        if (!probe.ok()) return probe.status();
+        Status released = qos_api_->Release(*probe);
+        assert(released.ok());
+        return released;
+      },
+      res::kInvalidReservationId);
 }
 
 }  // namespace quasaq::core

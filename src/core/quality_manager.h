@@ -1,12 +1,16 @@
 #ifndef QUASAQ_CORE_QUALITY_MANAGER_H_
 #define QUASAQ_CORE_QUALITY_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/cost_evaluator.h"
 #include "core/plan_generator.h"
 #include "core/plan_stream.h"
@@ -28,10 +32,21 @@
 // By default the ranking is walked through a lazy best-first PlanStream
 // (core/plan_stream.h): plans are materialized only as far as admission
 // control actually looks, and branches whose LRB lower bound exceeds
-// the first admitted cost are never generated. The eager
-// materialize-and-sort path is kept behind
+// the first admitted cost are never generated. Relaxation rounds reuse
+// the query's still-open stream (PlanStream::Reset) instead of
+// re-seeding enumeration — and so do mid-playback renegotiations. The
+// eager materialize-and-sort path is kept behind
 // PlanGenerator::Options::lazy_enumeration for the ablation benches;
 // both paths admit the identical plan.
+//
+// Thread-safety: Admit/Renegotiate/Explain may run concurrently from
+// many threads when (a) the optimization goal is kThroughput (a gain
+// function is per-query evaluator state) and (b) configuration calls
+// (set_observability, set_trace_context with a non-zero track) happen
+// before threads fan out. Statistics are atomic; the planner state
+// (generator, evaluator, metadata read path) is either immutable or
+// internally synchronized. Traced (non-zero track) admissions remain
+// single-threaded — the trace context is shared state by design.
 
 namespace quasaq::core {
 
@@ -106,10 +121,27 @@ class QualityManager {
   /// requirements are allowed to be modified during media playback"):
   /// re-plans `content` under `qos` and atomically swaps the running
   /// reservation `id` to the best admittable new plan. On failure the
-  /// old reservation stands untouched.
+  /// old reservation stands untouched. When `profile` is non-null and
+  /// renegotiation is enabled, an unservable `qos` is relaxed along the
+  /// profile's least-valued axis for up to max_renegotiation_rounds
+  /// retries — each round reusing the same still-open plan stream.
   Result<Admitted> RenegotiateDelivery(res::ReservationId id,
                                        SiteId query_site, LogicalOid content,
-                                       const query::QosRequirement& qos);
+                                       const query::QosRequirement& qos,
+                                       const UserProfile* profile = nullptr);
+
+  /// Renegotiation flavor for *paused* sessions, which hold no
+  /// reservation to swap: plans `qos`, admission-probes the best plan
+  /// (reserve + immediate release, so nothing stays held — Resume
+  /// re-admits the adopted vector when playback restarts) and returns
+  /// it with an invalid reservation id. Counts as a renegotiation, not
+  /// as a fresh query: the plan.queries/admitted counters and the
+  /// delivery.admit span stay untouched.
+  Result<Admitted> PlanPausedRenegotiation(SiteId query_site,
+                                           LogicalOid content,
+                                           const query::QosRequirement& qos,
+                                           const UserProfile* profile =
+                                               nullptr);
 
   // One entry of an EXPLAIN listing: a ranked plan, its cost under the
   // current system status, and whether admission control would take it.
@@ -132,9 +164,15 @@ class QualityManager {
   static std::string FormatPlanListing(LogicalOid content,
                                        const std::vector<RankedPlan>& plans);
 
-  const Stats& stats() const { return stats_; }
+  /// Consistent snapshot of the counters (fields are accumulated
+  /// atomically, so concurrent admissions never tear it).
+  Stats stats() const;
   res::CompositeQosApi& qos_api() { return *qos_api_; }
   PlanGenerator& generator() { return generator_; }
+
+  /// The worker pool parallel plan costing runs on; nullptr unless
+  /// PlanGenerator::Options::parallel_costing is set.
+  ThreadPool* costing_pool() const { return costing_pool_.get(); }
 
   /// Attaches plan-search counters/histograms and span emission
   /// (nullptr detaches). The pointer must outlive the manager.
@@ -144,8 +182,9 @@ class QualityManager {
   /// delivery's track and the sim time to stamp spans with (the sim
   /// clock does not advance during admission, so every span of one
   /// admission shares a timestamp). track 0 disables span emission.
-  /// Like the rest of this manager, not thread-safe: the facade is the
-  /// single-threaded driver (docs/ARCHITECTURE.md).
+  /// Not thread-safe: traced admissions belong to the single-threaded
+  /// driver; concurrent callers must leave the context untouched at its
+  /// default of 0 (docs/ARCHITECTURE.md).
   void set_trace_context(int64_t track, SimTime now) {
     trace_track_ = track;
     trace_now_ = now;
@@ -160,35 +199,62 @@ class QualityManager {
     obs::Counter* rejected_no_plan = nullptr;
     obs::Counter* rejected_no_resources = nullptr;
     obs::Counter* relaxations = nullptr;
+    obs::Counter* renegotiations = nullptr;
     obs::Counter* generated = nullptr;
     obs::Counter* groups_pruned = nullptr;
     obs::Histogram* per_query = nullptr;
     obs::Histogram* cutoff_margin = nullptr;
   };
 
+  // The Stats fields, accumulated with relaxed atomics so concurrent
+  // admissions from many threads never race; stats() snapshots them
+  // into the plain public struct.
+  struct AtomicStats {
+    std::atomic<uint64_t> queries{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> rejected_no_plan{0};
+    std::atomic<uint64_t> rejected_no_resources{0};
+    std::atomic<uint64_t> renegotiated{0};
+    std::atomic<uint64_t> plans_generated{0};
+    std::atomic<uint64_t> groups_pruned{0};
+  };
+
   void TraceBegin(const char* name, obs::Tracer::Args args = {});
   void TraceEnd(obs::Tracer::Args args = {});
   void TraceInstant(const char* name);
   // Installs the gain function matching the optimization goal for a
-  // query's QoS window.
+  // query's QoS window. Write-free for the kThroughput goal (after the
+  // first call), so concurrent throughput-goal admissions do not race
+  // on the evaluator.
   void ConfigureGain(const query::QosRequirement& qos);
-  // One plan-and-admit attempt at fixed QoS bounds. Fills `had_plans`.
-  Result<Admitted> TryAdmit(SiteId query_site, LogicalOid content,
-                            const query::QosRequirement& qos,
-                            bool* had_plans);
+  // One plan-and-admit attempt at fixed QoS bounds against an open
+  // stream (create or Reset it first). Fills `had_plans`; accounts the
+  // round's generated-plan delta. Does NOT account groups_pruned —
+  // that is cumulative stream state, accounted once per stream by
+  // AccountStreamPruning.
+  Result<Admitted> TryAdmitWithStream(PlanStream& stream, bool* had_plans);
   Result<Admitted> TryAdmitEager(SiteId query_site, LogicalOid content,
                                  const query::QosRequirement& qos,
                                  bool* had_plans);
-  Result<Admitted> TryAdmitStreamed(SiteId query_site, LogicalOid content,
-                                    const query::QosRequirement& qos,
-                                    bool* had_plans);
+  // Folds the finished stream's pruning win into stats/metrics.
+  void AccountStreamPruning(const PlanStream& stream);
+  // Shared renegotiation walk: streamed (with relaxation rounds reusing
+  // the stream) or eager; `adopt` applies an admittable resource vector
+  // (swap-in-place for live sessions, reserve-probe for paused ones)
+  // and `reservation` is what the returned Admitted carries.
+  Result<Admitted> RenegotiateImpl(
+      SiteId query_site, LogicalOid content,
+      const query::QosRequirement& qos, const UserProfile* profile,
+      const std::function<Status(const ResourceVector&)>& adopt,
+      res::ReservationId reservation);
 
   res::CompositeQosApi* qos_api_;
   PlanGenerator generator_;
   RuntimeCostEvaluator evaluator_;
   Options options_;
-  Stats stats_;
+  AtomicStats stats_;
   Metrics metrics_;
+  std::unique_ptr<ThreadPool> costing_pool_;  // non-null iff parallel
   obs::Tracer* tracer_ = nullptr;
   int64_t trace_track_ = 0;
   SimTime trace_now_ = 0;

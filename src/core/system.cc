@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 
 namespace quasaq::core {
 
@@ -27,9 +28,16 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
       library_(media::BuildExperimentLibrary(options.library,
                                              options.topology.SiteIds())),
       qos_api_(&pool_),
-      session_manager_(simulator, &qos_api_) {
+      session_manager_(simulator, &qos_api_,
+                       std::max(1, options.session_shards)) {
   assert(simulator_ != nullptr);
   std::vector<SiteId> sites = options_.topology.SiteIds();
+  if (session_manager_.shard_count() > 1) {
+    // Per-shard registries: session counters (and, below, the per-site
+    // cache counters) report shard-locally; TakeObservabilitySnapshot
+    // merges them back into one document.
+    observability_.AllocateShardRegistries(session_manager_.shard_count());
+  }
   session_manager_.set_observability(&observability_);
   qos_api_.set_metrics(&observability_.metrics());
   session_manager_.set_on_complete([this](SessionId id, SimTime now) {
@@ -91,7 +99,17 @@ MediaDbSystem::MediaDbSystem(sim::Simulator* simulator,
     if (options_.cache.enabled) {
       cache_manager_ = std::make_unique<cache::CacheManager>(
           sites, options_.cache.manager);
-      cache_manager_->set_metrics(&observability_.metrics());
+      if (session_manager_.shard_count() > 1) {
+        // Each site's cache reports into the same shard-local registry
+        // its sessions land in, so a busy site never contends with the
+        // others on a counter cache line.
+        cache_manager_->set_metrics([this](SiteId site) {
+          return &observability_.shard_metrics(
+              session_manager_.ShardOfSite(site));
+        });
+      } else {
+        cache_manager_->set_metrics(&observability_.metrics());
+      }
       quality_manager_->generator().set_cache_view(cache_manager_.get());
     }
 
@@ -141,29 +159,33 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::SubmitDelivery(
   ++stats_.submitted;
   obs::Tracer& tracer = observability_.tracer();
   const SimTime now = simulator_->Now();
-  current_trace_track_ = 0;
+  // The trace context (tracer track + quality-manager span state) is
+  // only touched when tracing is on; untraced submissions stay free of
+  // shared facade writes, which is what lets them run concurrently.
+  int64_t trace_track = 0;
   if (options_.observability.tracing) {
-    current_trace_track_ = tracer.NewTrack(
+    trace_track = tracer.NewTrack(
         "delivery content=" + std::to_string(content.value()) + " site=" +
         std::to_string(client_site.value()));
-    tracer.Begin(current_trace_track_, "delivery", now,
+    tracer.Begin(trace_track, "delivery", now,
                  {{"content", std::to_string(content.value())},
                   {"client_site", std::to_string(client_site.value())},
                   {"kind", std::string(SystemKindName(options_.kind))}});
-  }
-  if (quality_manager_ != nullptr) {
-    quality_manager_->set_trace_context(current_trace_track_, now);
+    if (quality_manager_ != nullptr) {
+      quality_manager_->set_trace_context(trace_track, now);
+    }
   }
   DeliveryOutcome outcome;
   switch (options_.kind) {
     case SystemKind::kVdbms:
-      outcome = DeliverVdbms(client_site, content);
+      outcome = DeliverVdbms(client_site, content, trace_track);
       break;
     case SystemKind::kVdbmsQosApi:
-      outcome = DeliverQosApi(client_site, content);
+      outcome = DeliverQosApi(client_site, content, trace_track);
       break;
     case SystemKind::kVdbmsQuasaq:
-      outcome = DeliverQuasaq(client_site, content, qos, profile);
+      outcome = DeliverQuasaq(client_site, content, qos, profile,
+                              trace_track);
       break;
   }
   if (outcome.status.ok()) {
@@ -172,22 +194,21 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::SubmitDelivery(
     SampleResourceTelemetry();
   } else {
     ++stats_.rejected;
-    if (current_trace_track_ != 0) {
+    if (trace_track != 0) {
       // A rejected delivery never reaches the session layer; close the
       // root span here so the track is complete.
-      tracer.Instant(current_trace_track_, "delivery.rejected", now);
-      tracer.EndAll(current_trace_track_, now);
+      tracer.Instant(trace_track, "delivery.rejected", now);
+      tracer.EndAll(trace_track, now);
     }
   }
-  if (quality_manager_ != nullptr) {
+  if (options_.observability.tracing && quality_manager_ != nullptr) {
     quality_manager_->set_trace_context(0, now);
   }
-  current_trace_track_ = 0;
   return outcome;
 }
 
 MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverVdbms(
-    SiteId site, LogicalOid content) {
+    SiteId site, LogicalOid content, int64_t trace_track) {
   DeliveryOutcome outcome;
   const media::ReplicaInfo* replica = library_.MasterReplicaAt(content, site);
   if (replica == nullptr) {
@@ -206,19 +227,19 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverVdbms(
   double stretch =
       std::clamp(demand_ratio, 1.0, options_.vdbms_max_stretch);
 
-  if (current_trace_track_ != 0) {
+  if (trace_track != 0) {
     // VDBMS has no admission control: a zero-width span records that
     // the query passed straight through.
     const SimTime now = simulator_->Now();
-    observability_.tracer().Begin(current_trace_track_, "delivery.admit",
-                                  now, {{"control", "none"}});
-    observability_.tracer().End(current_trace_track_, now);
+    observability_.tracer().Begin(trace_track, "delivery.admit", now,
+                                  {{"control", "none"}});
+    observability_.tracer().End(trace_track, now);
   }
   SessionManager::Record record;
   record.content = content;
   record.site = site;
   record.vdbms_kbps = replica->bitrate_kbps;
-  record.trace_track = current_trace_track_;
+  record.trace_track = trace_track;
 
   outcome.status = Status::Ok();
   outcome.delivered_qos = replica->qos;
@@ -229,7 +250,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverVdbms(
 }
 
 MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
-    SiteId site, LogicalOid content) {
+    SiteId site, LogicalOid content, int64_t trace_track) {
   DeliveryOutcome outcome;
   const media::ReplicaInfo* replica = library_.MasterReplicaAt(content, site);
   if (replica == nullptr) {
@@ -243,14 +264,14 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
   plan.source_site = replica->site;
   plan.delivery_site = site;
   FinalizePlan(plan, *replica, options_.quality.generator.constants);
-  if (current_trace_track_ != 0) {
-    observability_.tracer().Begin(current_trace_track_, "delivery.admit",
+  if (trace_track != 0) {
+    observability_.tracer().Begin(trace_track, "delivery.admit",
                                   simulator_->Now());
   }
   Result<res::ReservationId> reservation = qos_api_.Reserve(plan.resources);
-  if (current_trace_track_ != 0) {
+  if (trace_track != 0) {
     observability_.tracer().End(
-        current_trace_track_, simulator_->Now(),
+        trace_track, simulator_->Now(),
         {{"outcome", reservation.ok() ? "admitted" : "rejected"}});
   }
   if (!reservation.ok()) {
@@ -261,7 +282,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
   record.content = content;
   record.site = site;
   record.reservation = *reservation;
-  record.trace_track = current_trace_track_;
+  record.trace_track = trace_track;
   outcome.status = Status::Ok();
   outcome.delivered_qos = replica->qos;
   outcome.wire_rate_kbps = plan.wire_rate_kbps;
@@ -272,7 +293,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQosApi(
 
 MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
     SiteId site, LogicalOid content, const query::QosRequirement& qos,
-    const UserProfile* profile) {
+    const UserProfile* profile, int64_t trace_track) {
   DeliveryOutcome outcome;
   if (replication_manager_ != nullptr) {
     int level =
@@ -305,7 +326,7 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
   record.content = content;
   record.site = admitted->plan.delivery_site;
   record.reservation = admitted->reservation;
-  record.trace_track = current_trace_track_;
+  record.trace_track = trace_track;
   outcome.status = Status::Ok();
   outcome.renegotiated = admitted->renegotiated;
   outcome.delivered_qos = admitted->plan.delivered_qos;
@@ -316,13 +337,15 @@ MediaDbSystem::DeliveryOutcome MediaDbSystem::DeliverQuasaq(
 }
 
 Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
-    SessionId session, const query::QosRequirement& new_qos) {
+    SessionId session, const query::QosRequirement& new_qos,
+    const UserProfile* profile) {
   if (options_.kind != SystemKind::kVdbmsQuasaq) {
     return Status::FailedPrecondition(
         "mid-playback renegotiation requires QuaSAQ");
   }
-  const SessionManager::Record* record = session_manager_.Find(session);
-  if (record == nullptr) return Status::NotFound("no such session");
+  std::optional<SessionManager::Record> record =
+      session_manager_.Snapshot(session);
+  if (!record.has_value()) return Status::NotFound("no such session");
   obs::Tracer& tracer = observability_.tracer();
   const int64_t track = record->trace_track;
   const SimTime now = simulator_->Now();
@@ -330,32 +353,36 @@ Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
     tracer.Begin(track, "session.renegotiate", now,
                  {{"session", std::to_string(session.value())}});
   }
-  quality_manager_->set_trace_context(track, now);
-  // A paused session holds no reservation to renegotiate in place: plan
-  // fresh, then immediately hand the resources back — Resume re-admits
-  // the adopted vector when playback actually restarts.
+  if (options_.observability.tracing) {
+    quality_manager_->set_trace_context(track, now);
+  }
+  // A paused session holds no reservation to renegotiate in place: the
+  // quality manager admission-probes the new plan (reserve + immediate
+  // release, nothing stays held) — Resume re-admits the adopted vector
+  // when playback actually restarts.
   Result<QualityManager::Admitted> admitted =
       record->paused
-          ? quality_manager_->AdmitQuery(record->site, record->content,
-                                         new_qos)
-          : quality_manager_->RenegotiateDelivery(
-                record->reservation, record->site, record->content, new_qos);
-  quality_manager_->set_trace_context(0, now);
+          ? quality_manager_->PlanPausedRenegotiation(
+                record->site, record->content, new_qos, profile)
+          : quality_manager_->RenegotiateDelivery(record->reservation,
+                                                  record->site,
+                                                  record->content, new_qos,
+                                                  profile);
+  if (options_.observability.tracing) {
+    quality_manager_->set_trace_context(0, now);
+  }
   if (track != 0) {
     tracer.End(track, now,
                {{"outcome", admitted.ok() ? "adopted" : "rejected"}});
   }
   if (!admitted.ok()) return admitted.status();
   SampleResourceTelemetry();
-  if (record->paused) {
-    Status released = qos_api_.Release(admitted->reservation);
-    assert(released.ok());
-    (void)released;
-  }
   Status adopted = session_manager_.AdoptRenegotiatedPlan(
       session, admitted->plan.delivery_site, admitted->plan.resources);
-  assert(adopted.ok());
-  (void)adopted;
+  // The session can only disappear between the snapshot above and the
+  // adoption if the caller raced its own cancel/complete; surface that
+  // instead of silently keeping the renegotiated reservation unadopted.
+  if (!adopted.ok()) return adopted;
   DeliveryOutcome outcome;
   outcome.status = Status::Ok();
   outcome.session = session;
@@ -368,11 +395,23 @@ Result<MediaDbSystem::DeliveryOutcome> MediaDbSystem::ChangeSessionQos(
 MediaDbSystem::ObservabilitySnapshot
 MediaDbSystem::TakeObservabilitySnapshot() const {
   ObservabilitySnapshot snapshot;
-  snapshot.prometheus = observability_.metrics().PrometheusText();
-  snapshot.metrics_json = observability_.metrics().JsonSnapshot();
+  // Merged exposition: with per-shard registries (session_shards > 1)
+  // the main + shard registries render as one document; unsharded this
+  // is byte-identical to the plain exposition.
+  snapshot.prometheus = observability_.MergedPrometheusText();
+  snapshot.metrics_json = observability_.MergedJsonSnapshot();
   if (options_.observability.tracing) {
     snapshot.trace_json = observability_.tracer().ChromeTraceJson();
   }
+  return snapshot;
+}
+
+MediaDbSystem::Stats MediaDbSystem::stats() const {
+  Stats snapshot;
+  snapshot.submitted = stats_.submitted.load(std::memory_order_relaxed);
+  snapshot.admitted = stats_.admitted.load(std::memory_order_relaxed);
+  snapshot.rejected = stats_.rejected.load(std::memory_order_relaxed);
+  snapshot.completed = stats_.completed.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -381,16 +420,17 @@ void MediaDbSystem::SampleResourceTelemetry() {
 }
 
 std::string MediaDbSystem::ReportString() const {
+  const Stats totals = stats();
   char buf[160];
   std::snprintf(
       buf, sizeof(buf),
       "%s: submitted=%llu admitted=%llu rejected=%llu completed=%llu "
       "outstanding=%d",
       std::string(SystemKindName(options_.kind)).c_str(),
-      static_cast<unsigned long long>(stats_.submitted),
-      static_cast<unsigned long long>(stats_.admitted),
-      static_cast<unsigned long long>(stats_.rejected),
-      static_cast<unsigned long long>(stats_.completed),
+      static_cast<unsigned long long>(totals.submitted),
+      static_cast<unsigned long long>(totals.admitted),
+      static_cast<unsigned long long>(totals.rejected),
+      static_cast<unsigned long long>(totals.completed),
       session_manager_.outstanding());
   std::string out(buf);
   out += "\nbuckets: " + pool_.DebugString();

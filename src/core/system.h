@@ -1,6 +1,8 @@
 #ifndef QUASAQ_CORE_SYSTEM_H_
 #define QUASAQ_CORE_SYSTEM_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -74,6 +76,12 @@ class MediaDbSystem {
     std::string cost_model = "lrb";
     uint64_t seed = 1;
     QualityManager::Options quality;
+    // Number of session-table shards (core/session_manager.h). 1 (the
+    // default) reproduces the unsharded behavior exactly, session IDs
+    // included. > 1 also gives each shard its own metrics registry
+    // (merged on snapshot) so concurrent admissions on different sites
+    // never contend on a session-table lock or a counter cache line.
+    int session_shards = 1;
     // CPU capacity of one server, as a fraction (1.0 = one CPU).
     double cpu_capacity = 1.0;
     // Oversubscribed VDBMS links stretch session time up to this factor.
@@ -197,7 +205,8 @@ class MediaDbSystem {
   /// systems, kNotFound for unknown sessions; planner and admission
   /// errors propagate, leaving the old reservation intact.
   Result<DeliveryOutcome> ChangeSessionQos(
-      SessionId session, const query::QosRequirement& new_qos);
+      SessionId session, const query::QosRequirement& new_qos,
+      const UserProfile* profile = nullptr);
 
   /// User action: pauses a running session. Its reserved resources are
   /// released while paused (a paused stream sends nothing); playback
@@ -219,7 +228,9 @@ class MediaDbSystem {
   }
 
   int outstanding_sessions() const { return session_manager_.outstanding(); }
-  const Stats& stats() const { return stats_; }
+  /// Consistent snapshot of the query counters (accumulated with
+  /// relaxed atomics, so concurrent submissions never tear it).
+  Stats stats() const;
   SystemKind kind() const { return options_.kind; }
 
   const media::VideoLibrary& library() const { return library_; }
@@ -273,11 +284,17 @@ class MediaDbSystem {
   /// matching logical OID (stored into `content`).
   Result<query::ParsedQuery> ParseAndResolve(std::string_view text,
                                              LogicalOid* content) const;
-  DeliveryOutcome DeliverVdbms(SiteId site, LogicalOid content);
-  DeliveryOutcome DeliverQosApi(SiteId site, LogicalOid content);
+  // `trace_track` is the delivery's span track (0 = untraced); it is a
+  // parameter, not a member, so concurrent (untraced) submissions never
+  // share mutable facade state.
+  DeliveryOutcome DeliverVdbms(SiteId site, LogicalOid content,
+                               int64_t trace_track);
+  DeliveryOutcome DeliverQosApi(SiteId site, LogicalOid content,
+                                int64_t trace_track);
   DeliveryOutcome DeliverQuasaq(SiteId site, LogicalOid content,
                                 const query::QosRequirement& qos,
-                                const UserProfile* profile);
+                                const UserProfile* profile,
+                                int64_t trace_track);
 
   sim::Simulator* simulator_;
   Options options_;
@@ -295,12 +312,16 @@ class MediaDbSystem {
   std::unique_ptr<cache::CacheManager> cache_manager_;
   std::unique_ptr<res::PoolTelemetry> pool_telemetry_;
 
-  Stats stats_;
+  // The Stats fields, accumulated with relaxed atomics (stats()
+  // snapshots them) so concurrent submissions never race.
+  struct AtomicStats {
+    std::atomic<uint64_t> submitted{0};
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> completed{0};
+  };
+  AtomicStats stats_;
   SessionCompleteCallback on_session_complete_;
-  // Track of the delivery currently being admitted; Deliver* stamp it
-  // into the session record. The facade is single-threaded by design
-  // (see docs/ARCHITECTURE.md), so a member carries it safely.
-  int64_t current_trace_track_ = 0;
 };
 
 }  // namespace quasaq::core

@@ -9,8 +9,10 @@ DistributedMetadataEngine::DistributedMetadataEngine(std::vector<SiteId> sites,
     : sites_(std::move(sites)), options_(options) {
   assert(!sites_.empty());
   stores_.resize(sites_.size());
-  caches_.resize(sites_.size());
-  stats_.resize(sites_.size());
+  site_states_.reserve(sites_.size());
+  for (size_t i = 0; i < sites_.size(); ++i) {
+    site_states_.push_back(std::make_unique<SiteState>());
+  }
 }
 
 size_t DistributedMetadataEngine::SiteIndex(SiteId site) const {
@@ -103,9 +105,9 @@ MetadataBundle DistributedMetadataEngine::BuildBundle(
 }
 
 const MetadataBundle* DistributedMetadataEngine::FetchBundle(
-    SiteId from, LogicalOid id, SimTime* latency) {
+    SiteState& state, SiteId from, LogicalOid id, SimTime* latency) {
   size_t from_index = SiteIndex(from);
-  AccessStats& stats = stats_[from_index];
+  AccessStats& stats = state.stats;
   SiteId owner = OwnerOf(id);
 
   if (owner == from) {
@@ -115,7 +117,7 @@ const MetadataBundle* DistributedMetadataEngine::FetchBundle(
     if (latency != nullptr) *latency += options_.local_access_latency;
     // Local bundles are served through the cache slot as well so callers
     // get one stable pointer type; they are never evicted remotely.
-    SiteCache& cache = caches_[from_index];
+    SiteCache& cache = state.cache;
     auto it = cache.entries.find(id);
     if (it != cache.entries.end()) cache.entries.erase(it);
     cache.order.remove(id);
@@ -126,7 +128,7 @@ const MetadataBundle* DistributedMetadataEngine::FetchBundle(
     return &ins->second.second;
   }
 
-  SiteCache& cache = caches_[from_index];
+  SiteCache& cache = state.cache;
   if (auto it = cache.entries.find(id); it != cache.entries.end()) {
     ++stats.cache_hits;
     if (latency != nullptr) *latency += options_.local_access_latency;
@@ -162,14 +164,18 @@ const MetadataBundle* DistributedMetadataEngine::FetchBundle(
 
 std::optional<media::VideoContent> DistributedMetadataEngine::FindContent(
     SiteId from, LogicalOid id, SimTime* latency) {
-  const MetadataBundle* bundle = FetchBundle(from, id, latency);
+  SiteState& state = *site_states_[SiteIndex(from)];
+  MutexLock lock(&state.mu);
+  const MetadataBundle* bundle = FetchBundle(state, from, id, latency);
   if (bundle == nullptr) return std::nullopt;
   return bundle->content;
 }
 
 std::vector<media::ReplicaInfo> DistributedMetadataEngine::ReplicasOf(
     SiteId from, LogicalOid id, SimTime* latency) {
-  const MetadataBundle* bundle = FetchBundle(from, id, latency);
+  SiteState& state = *site_states_[SiteIndex(from)];
+  MutexLock lock(&state.mu);
+  const MetadataBundle* bundle = FetchBundle(state, from, id, latency);
   if (bundle == nullptr) return {};
   return bundle->replicas;
 }
@@ -178,7 +184,9 @@ std::optional<QosProfile> DistributedMetadataEngine::FindQosProfile(
     SiteId from, PhysicalOid id, SimTime* latency) {
   auto it = physical_to_logical_.find(id);
   if (it == physical_to_logical_.end()) return std::nullopt;
-  const MetadataBundle* bundle = FetchBundle(from, it->second, latency);
+  SiteState& state = *site_states_[SiteIndex(from)];
+  MutexLock lock(&state.mu);
+  const MetadataBundle* bundle = FetchBundle(state, from, it->second, latency);
   if (bundle == nullptr) return std::nullopt;
   for (const auto& [oid, profile] : bundle->profiles) {
     if (oid == id) return profile;
@@ -197,13 +205,17 @@ std::vector<LogicalOid> DistributedMetadataEngine::AllContentIds() const {
   return out;
 }
 
-const DistributedMetadataEngine::AccessStats&
-DistributedMetadataEngine::stats_for(SiteId site) const {
-  return stats_[SiteIndex(site)];
+DistributedMetadataEngine::AccessStats DistributedMetadataEngine::stats_for(
+    SiteId site) const {
+  const SiteState& state = *site_states_[SiteIndex(site)];
+  MutexLock lock(&state.mu);
+  return state.stats;
 }
 
 void DistributedMetadataEngine::InvalidateCaches(LogicalOid id) {
-  for (SiteCache& cache : caches_) {
+  for (const std::unique_ptr<SiteState>& state : site_states_) {
+    MutexLock lock(&state->mu);
+    SiteCache& cache = state->cache;
     auto it = cache.entries.find(id);
     if (it == cache.entries.end()) continue;
     cache.order.erase(it->second.first);

@@ -2,6 +2,7 @@
 #define QUASAQ_METADATA_DISTRIBUTED_ENGINE_H_
 
 #include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "common/ids.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "metadata/metadata_store.h"
 
 // Distributed Metadata Engine (paper §3.3): metadata is partitioned
@@ -17,6 +19,15 @@
 // accelerated by a per-site LRU cache of metadata bundles. Accesses
 // report a simulated latency so callers can charge metadata I/O to the
 // plan-generation path.
+//
+// Thread-safety: the read path (FindContent/ReplicasOf/FindQosProfile)
+// mutates the accessing site's LRU cache and counters, so each site's
+// cache + stats sit behind their own leaf Mutex — concurrent admissions
+// from different sites never contend, same-site accesses serialize.
+// Population and erasure (Insert*/Erase*/SetQosProfile) write the
+// unguarded stores and physical index; they are construction-time /
+// simulator-driven operations and must not overlap with concurrent
+// reads (docs/ARCHITECTURE.md "Threading model").
 
 namespace quasaq::meta {
 
@@ -78,7 +89,8 @@ class DistributedMetadataEngine {
   /// Returns the site owning the metadata of `id`.
   SiteId OwnerOf(LogicalOid id) const;
 
-  const AccessStats& stats_for(SiteId site) const;
+  /// Snapshot of the site's access counters (copied under its lock).
+  AccessStats stats_for(SiteId site) const;
 
  private:
   struct SiteCache {
@@ -90,19 +102,29 @@ class DistributedMetadataEngine {
         entries;
   };
 
+  // One site's mutable read-path state. Heap-allocated so the Mutex
+  // address stays stable in the vector.
+  struct SiteState {
+    mutable Mutex mu;
+    SiteCache cache QUASAQ_GUARDED_BY(mu);
+    AccessStats stats QUASAQ_GUARDED_BY(mu);
+  };
+
   size_t SiteIndex(SiteId site) const;
   MetadataStore& OwnerStore(LogicalOid id);
-  // Fetches the bundle as seen from `from`, tracking stats and latency.
-  const MetadataBundle* FetchBundle(SiteId from, LogicalOid id,
-                                    SimTime* latency);
+  // Fetches the bundle as seen from `from` (whose state is `state`),
+  // tracking stats and latency. The returned pointer aims into the
+  // site's cache and is only valid while the lock is held.
+  const MetadataBundle* FetchBundle(SiteState& state, SiteId from,
+                                    LogicalOid id, SimTime* latency)
+      QUASAQ_REQUIRES(state.mu);
   MetadataBundle BuildBundle(const MetadataStore& store, LogicalOid id) const;
   void InvalidateCaches(LogicalOid id);
 
   std::vector<SiteId> sites_;
   Options options_;
-  std::vector<MetadataStore> stores_;   // one per site
-  std::vector<SiteCache> caches_;       // one per site
-  std::vector<AccessStats> stats_;      // one per site
+  std::vector<MetadataStore> stores_;  // one per site
+  std::vector<std::unique_ptr<SiteState>> site_states_;  // one per site
   std::unordered_map<PhysicalOid, LogicalOid> physical_to_logical_;
 };
 

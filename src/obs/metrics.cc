@@ -31,6 +31,33 @@ std::string CanonicalKey(Labels labels) {
   return key;
 }
 
+// Three-way compare of a stored canonical key against the serialization
+// `labels` (already sorted) *would* produce, character by character —
+// the allocation-free half of the transparent child lookup. Returns
+// <0 / 0 / >0 as `key` orders before / equal to / after the labels.
+int CompareKeyToLabels(std::string_view key, const Labels& labels) {
+  size_t pos = 0;
+  auto compare_piece = [&](std::string_view piece) -> int {
+    for (char c : piece) {
+      if (pos >= key.size()) return -1;  // key is a strict prefix
+      if (key[pos] != c) return key[pos] < c ? -1 : 1;
+      ++pos;
+    }
+    return 0;
+  };
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      if (int r = compare_piece(",")) return r;
+    }
+    first = false;
+    if (int r = compare_piece(k)) return r;
+    if (int r = compare_piece("=")) return r;
+    if (int r = compare_piece(v)) return r;
+  }
+  return pos == key.size() ? 0 : 1;  // leftover key chars order after
+}
+
 // Prometheus series suffix: {k="v",k="v"} or empty for no labels.
 std::string PromLabelSuffix(const Labels& labels) {
   if (labels.empty()) return "";
@@ -119,6 +146,16 @@ std::string_view MetricTypeName(MetricType type) {
   return "unknown";
 }
 
+bool MetricsRegistry::ChildKeyLess::operator()(const std::string& a,
+                                               const SortedLabelsRef& b) const {
+  return CompareKeyToLabels(a, *b.labels) < 0;
+}
+
+bool MetricsRegistry::ChildKeyLess::operator()(const SortedLabelsRef& a,
+                                               const std::string& b) const {
+  return CompareKeyToLabels(b, *a.labels) > 0;
+}
+
 void Gauge::Sample(SimTime now, double value) {
   value_.store(value, std::memory_order_relaxed);
   MutexLock lock(&mu_);
@@ -127,6 +164,22 @@ void Gauge::Sample(SimTime now, double value) {
     return;
   }
   history_.Add(now, value);
+}
+
+void Gauge::SampleMax(SimTime now, double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (current < value) {
+    if (value_.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+      MutexLock lock(&mu_);
+      if (history_.samples().size() >= kMaxHistory) {
+        ++history_dropped_;
+        return;
+      }
+      history_.Add(now, value);
+      return;
+    }
+  }
 }
 
 TimeSeries Gauge::history() const {
@@ -186,17 +239,36 @@ MetricsRegistry::Family* MetricsRegistry::ResolveFamily(std::string_view name,
   return &it->second;
 }
 
+namespace {
+
+// The sorted view of `labels`: `labels` itself when already sorted (the
+// common case — instrumented call sites pass at most a couple of pairs
+// in order), else a sorted copy placed in `storage`.
+const Labels& SortedLabelView(const Labels& labels, Labels& storage) {
+  if (std::is_sorted(labels.begin(), labels.end())) return labels;
+  storage = labels;
+  std::sort(storage.begin(), storage.end());
+  return storage;
+}
+
+}  // namespace
+
 Counter* MetricsRegistry::GetCounter(std::string_view name,
                                      std::string_view help,
                                      const Labels& labels) {
   MutexLock lock(&mu_);
   Family* family = ResolveFamily(name, help, MetricType::kCounter);
   if (family == nullptr) return nullptr;
-  std::string key = CanonicalKey(labels);
-  auto it = family->counters.find(key);
+  Labels sorted_storage;
+  const Labels& sorted = SortedLabelView(labels, sorted_storage);
+  auto it = family->counters.find(SortedLabelsRef{&sorted});
   if (it == family->counters.end()) {
-    it = family->counters.emplace(key, std::make_unique<Counter>()).first;
+    // Only first registration serializes the canonical key.
+    std::string key = CanonicalKey(sorted);
     family->label_sets.emplace(key, labels);
+    it = family->counters
+             .emplace(std::move(key), std::make_unique<Counter>())
+             .first;
   }
   return it->second.get();
 }
@@ -206,11 +278,14 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name, std::string_view help,
   MutexLock lock(&mu_);
   Family* family = ResolveFamily(name, help, MetricType::kGauge);
   if (family == nullptr) return nullptr;
-  std::string key = CanonicalKey(labels);
-  auto it = family->gauges.find(key);
+  Labels sorted_storage;
+  const Labels& sorted = SortedLabelView(labels, sorted_storage);
+  auto it = family->gauges.find(SortedLabelsRef{&sorted});
   if (it == family->gauges.end()) {
-    it = family->gauges.emplace(key, std::make_unique<Gauge>()).first;
+    std::string key = CanonicalKey(sorted);
     family->label_sets.emplace(key, labels);
+    it = family->gauges.emplace(std::move(key), std::make_unique<Gauge>())
+             .first;
   }
   return it->second.get();
 }
@@ -222,13 +297,16 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
   MutexLock lock(&mu_);
   Family* family = ResolveFamily(name, help, MetricType::kHistogram);
   if (family == nullptr) return nullptr;
-  std::string key = CanonicalKey(labels);
-  auto it = family->histograms.find(key);
+  Labels sorted_storage;
+  const Labels& sorted = SortedLabelView(labels, sorted_storage);
+  auto it = family->histograms.find(SortedLabelsRef{&sorted});
   if (it == family->histograms.end()) {
     family->histogram = options;
-    it = family->histograms.emplace(key, std::make_unique<Histogram>(options))
-             .first;
+    std::string key = CanonicalKey(sorted);
     family->label_sets.emplace(key, labels);
+    it = family->histograms
+             .emplace(std::move(key), std::make_unique<Histogram>(options))
+             .first;
   } else {
     // A family has one bucket layout; a mismatched re-registration is
     // the histogram flavor of a type conflict.
@@ -247,30 +325,112 @@ std::vector<std::string> MetricsRegistry::MetricNames() const {
   return names;
 }
 
-std::string MetricsRegistry::PrometheusText() const {
-  MutexLock lock(&mu_);
+MetricsRegistry::MergedView MetricsRegistry::BuildMergedView(
+    const std::vector<const MetricsRegistry*>& parts) {
+  MergedView view;
+  for (const MetricsRegistry* part : parts) {
+    if (part == nullptr) continue;
+    MutexLock lock(&part->mu_);
+    for (const auto& [name, family] : part->families_) {
+      auto [entry, inserted] = view.try_emplace(name);
+      MergedFamily& merged = entry->second;
+      if (inserted) {
+        merged.type = family.type;
+        merged.help = family.help;
+      } else if (merged.type != family.type) {
+        continue;  // one name, one meaning: first part wins
+      }
+      auto series_for = [&](const std::string& key) -> MergedSeries& {
+        auto [it, fresh] = merged.series.try_emplace(key);
+        if (fresh) it->second.labels = family.label_sets.at(key);
+        return it->second;
+      };
+      switch (family.type) {
+        case MetricType::kCounter:
+          for (const auto& [key, counter] : family.counters) {
+            series_for(key).value += counter->value();
+          }
+          break;
+        case MetricType::kGauge:
+          for (const auto& [key, gauge] : family.gauges) {
+            MergedSeries& series = series_for(key);
+            series.value += gauge->value();
+            TimeSeries history = gauge->history();
+            for (const TimeSeries::Sample& s : history.samples()) {
+              series.history.Add(s.time, s.value);
+            }
+          }
+          break;
+        case MetricType::kHistogram:
+          for (const auto& [key, histogram] : family.histograms) {
+            MergedSeries& series = series_for(key);
+            Histogram::Snapshot snap = histogram->snapshot();
+            if (!series.histogram_init) {
+              series.histogram = std::move(snap);
+              series.histogram_init = true;
+              continue;
+            }
+            if (snap.bounds != series.histogram.bounds) continue;
+            for (size_t i = 0; i < snap.counts.size(); ++i) {
+              series.histogram.counts[i] += snap.counts[i];
+            }
+            if (snap.count > 0) {
+              if (series.histogram.count == 0) {
+                series.histogram.min = snap.min;
+                series.histogram.max = snap.max;
+              } else {
+                series.histogram.min =
+                    std::min(series.histogram.min, snap.min);
+                series.histogram.max =
+                    std::max(series.histogram.max, snap.max);
+              }
+            }
+            series.histogram.count += snap.count;
+            series.histogram.sum += snap.sum;
+          }
+          break;
+      }
+    }
+  }
+  if (parts.size() > 1) {
+    // Shard histories interleave; time-order the merged series. A
+    // single part keeps its raw append order (byte-identical to the
+    // instance exposition).
+    for (auto& [name, family] : view) {
+      if (family.type != MetricType::kGauge) continue;
+      for (auto& [key, series] : family.series) {
+        if (series.history.empty()) continue;
+        std::vector<TimeSeries::Sample> samples = series.history.samples();
+        std::stable_sort(samples.begin(), samples.end(),
+                         [](const TimeSeries::Sample& a,
+                            const TimeSeries::Sample& b) {
+                           return a.time < b.time;
+                         });
+        series.history = TimeSeries();
+        for (const TimeSeries::Sample& s : samples) {
+          series.history.Add(s.time, s.value);
+        }
+      }
+    }
+  }
+  return view;
+}
+
+std::string MetricsRegistry::RenderPrometheus(const MergedView& view) {
   std::string out;
-  for (const auto& [name, family] : families_) {
+  for (const auto& [name, family] : view) {
     out += "# HELP " + name + " " + family.help + "\n";
     out += "# TYPE " + name + " " +
            std::string(MetricTypeName(family.type)) + "\n";
-    switch (family.type) {
-      case MetricType::kCounter:
-        for (const auto& [key, counter] : family.counters) {
-          out += name + PromLabelSuffix(family.label_sets.at(key)) + " " +
-                 RenderNumber(counter->value()) + "\n";
-        }
-        break;
-      case MetricType::kGauge:
-        for (const auto& [key, gauge] : family.gauges) {
-          out += name + PromLabelSuffix(family.label_sets.at(key)) + " " +
-                 RenderNumber(gauge->value()) + "\n";
-        }
-        break;
-      case MetricType::kHistogram:
-        for (const auto& [key, histogram] : family.histograms) {
-          const Labels& labels = family.label_sets.at(key);
-          Histogram::Snapshot snap = histogram->snapshot();
+    for (const auto& [key, series] : family.series) {
+      switch (family.type) {
+        case MetricType::kCounter:
+        case MetricType::kGauge:
+          out += name + PromLabelSuffix(series.labels) + " " +
+                 RenderNumber(series.value) + "\n";
+          break;
+        case MetricType::kHistogram: {
+          const Histogram::Snapshot& snap = series.histogram;
           uint64_t cumulative = 0;
           for (size_t i = 0; i < snap.counts.size(); ++i) {
             cumulative += snap.counts[i];
@@ -278,53 +438,45 @@ std::string MetricsRegistry::PrometheusText() const {
                                  ? RenderNumber(snap.bounds[i])
                                  : "+Inf";
             out += name + "_bucket" +
-                   PromLabelSuffixWith(labels, "le", le) + " " +
+                   PromLabelSuffixWith(series.labels, "le", le) + " " +
                    std::to_string(cumulative) + "\n";
           }
-          out += name + "_sum" + PromLabelSuffix(labels) + " " +
+          out += name + "_sum" + PromLabelSuffix(series.labels) + " " +
                  RenderNumber(snap.sum) + "\n";
-          out += name + "_count" + PromLabelSuffix(labels) + " " +
+          out += name + "_count" + PromLabelSuffix(series.labels) + " " +
                  std::to_string(snap.count) + "\n";
+          break;
         }
-        break;
+      }
     }
   }
   return out;
 }
 
-std::string MetricsRegistry::JsonSnapshot() const {
-  MutexLock lock(&mu_);
+std::string MetricsRegistry::RenderJson(const MergedView& view) {
   std::string out = "{\n  \"metrics\": [";
   bool first_family = true;
-  for (const auto& [name, family] : families_) {
+  for (const auto& [name, family] : view) {
     if (!first_family) out += ',';
     first_family = false;
     out += "\n    {\"name\": \"" + JsonEscapeString(name) + "\", \"type\": \"" +
            std::string(MetricTypeName(family.type)) + "\", \"help\": \"" +
            JsonEscapeString(family.help) + "\", \"series\": [";
     bool first_series = true;
-    auto begin_series = [&](const std::string& key) {
+    for (const auto& [key, series] : family.series) {
       if (!first_series) out += ',';
       first_series = false;
-      out += "\n      {\"labels\": " +
-             JsonLabelObject(family.label_sets.at(key));
-    };
-    switch (family.type) {
-      case MetricType::kCounter:
-        for (const auto& [key, counter] : family.counters) {
-          begin_series(key);
-          out += ", \"value\": " + JsonNumberOrNull(counter->value()) + "}";
-        }
-        break;
-      case MetricType::kGauge:
-        for (const auto& [key, gauge] : family.gauges) {
-          begin_series(key);
-          out += ", \"value\": " + JsonNumberOrNull(gauge->value());
-          TimeSeries history = gauge->history();
-          if (!history.empty()) {
+      out += "\n      {\"labels\": " + JsonLabelObject(series.labels);
+      switch (family.type) {
+        case MetricType::kCounter:
+          out += ", \"value\": " + JsonNumberOrNull(series.value) + "}";
+          break;
+        case MetricType::kGauge: {
+          out += ", \"value\": " + JsonNumberOrNull(series.value);
+          if (!series.history.empty()) {
             out += ", \"history\": [";
             bool first_sample = true;
-            for (const TimeSeries::Sample& s : history.samples()) {
+            for (const TimeSeries::Sample& s : series.history.samples()) {
               if (!first_sample) out += ", ";
               first_sample = false;
               out += "[" + JsonNumberOrNull(SimTimeToSeconds(s.time)) + ", " +
@@ -333,12 +485,10 @@ std::string MetricsRegistry::JsonSnapshot() const {
             out += ']';
           }
           out += '}';
+          break;
         }
-        break;
-      case MetricType::kHistogram:
-        for (const auto& [key, histogram] : family.histograms) {
-          begin_series(key);
-          Histogram::Snapshot snap = histogram->snapshot();
+        case MetricType::kHistogram: {
+          const Histogram::Snapshot& snap = series.histogram;
           out += ", \"count\": " + std::to_string(snap.count) +
                  ", \"sum\": " + JsonNumberOrNull(snap.sum) +
                  ", \"min\": " + JsonNumberOrNull(snap.min) +
@@ -353,13 +503,32 @@ std::string MetricsRegistry::JsonSnapshot() const {
                    ", \"count\": " + std::to_string(snap.counts[i]) + "}";
           }
           out += "]}";
+          break;
         }
-        break;
+      }
     }
     out += "\n    ]}";
   }
   out += "\n  ]\n}\n";
   return out;
+}
+
+std::string MetricsRegistry::MergedPrometheusText(
+    const std::vector<const MetricsRegistry*>& parts) {
+  return RenderPrometheus(BuildMergedView(parts));
+}
+
+std::string MetricsRegistry::MergedJsonSnapshot(
+    const std::vector<const MetricsRegistry*>& parts) {
+  return RenderJson(BuildMergedView(parts));
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  return MergedPrometheusText({this});
+}
+
+std::string MetricsRegistry::JsonSnapshot() const {
+  return RenderJson(BuildMergedView({this}));
 }
 
 }  // namespace quasaq::obs

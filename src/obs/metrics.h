@@ -87,6 +87,12 @@ class Gauge {
   /// Sets the value and records (now, value) into the gauge's history.
   void Sample(SimTime now, double value) QUASAQ_EXCLUDES(mu_);
 
+  /// Raises the gauge to `value` when higher (atomic running maximum)
+  /// and records a history sample only when the value actually rose —
+  /// the high-water-mark flavor of Sample. Safe against concurrent
+  /// callers: exactly the raising calls append history.
+  void SampleMax(SimTime now, double value) QUASAQ_EXCLUDES(mu_);
+
   /// Copy of the sampled history (empty when never sampled).
   TimeSeries history() const QUASAQ_EXCLUDES(mu_);
 
@@ -181,18 +187,69 @@ class MetricsRegistry {
   /// pairs; histogram series include per-bucket counts.
   std::string JsonSnapshot() const QUASAQ_EXCLUDES(mu_);
 
+  // Merge-on-snapshot exposition for sharded registries: renders the
+  // union of `parts` as one document. Counter and gauge values sum per
+  // series, histograms merge per-bucket, gauge histories concatenate
+  // (time-sorted when merging more than one part). With a single part
+  // the output is byte-identical to the instance methods — which are in
+  // fact implemented on top of these. When parts disagree on a family's
+  // type (or a histogram's bucket layout) the first part wins and the
+  // conflicting series are skipped.
+  static std::string MergedPrometheusText(
+      const std::vector<const MetricsRegistry*>& parts);
+  static std::string MergedJsonSnapshot(
+      const std::vector<const MetricsRegistry*>& parts);
+
  private:
+  // Transparent child-map comparator: compares stored canonical keys
+  // ("k=v,k=v", label pairs sorted) against a *sorted* label set without
+  // serializing the probe — labeled-family lookups on the hot path cost
+  // zero allocations after first registration.
+  struct SortedLabelsRef {
+    const Labels* labels;
+  };
+  struct ChildKeyLess {
+    using is_transparent = void;
+    bool operator()(const std::string& a, const std::string& b) const {
+      return a < b;
+    }
+    bool operator()(const std::string& a, const SortedLabelsRef& b) const;
+    bool operator()(const SortedLabelsRef& a, const std::string& b) const;
+  };
+
   struct Family {
     MetricType type = MetricType::kCounter;
     std::string help;
     HistogramOptions histogram;
     // Children keyed by canonical (sorted, serialized) label set.
     // std::map keeps exposition order deterministic.
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
-    std::map<std::string, Labels> label_sets;  // canonical key -> labels
+    std::map<std::string, std::unique_ptr<Counter>, ChildKeyLess> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, ChildKeyLess> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>, ChildKeyLess> histograms;
+    // Canonical key -> labels in first-registration order (exposition
+    // renders labels as the instrumentation passed them).
+    std::map<std::string, Labels> label_sets;
   };
+
+  // One series' state accumulated across the merged parts.
+  struct MergedSeries {
+    Labels labels;
+    double value = 0.0;  // counter / gauge sum
+    TimeSeries history;  // gauge history, parts concatenated
+    Histogram::Snapshot histogram;
+    bool histogram_init = false;
+  };
+  struct MergedFamily {
+    MetricType type = MetricType::kCounter;
+    std::string help;
+    std::map<std::string, MergedSeries> series;  // canonical key order
+  };
+  using MergedView = std::map<std::string, MergedFamily>;
+
+  static MergedView BuildMergedView(
+      const std::vector<const MetricsRegistry*>& parts);
+  static std::string RenderPrometheus(const MergedView& view);
+  static std::string RenderJson(const MergedView& view);
 
   Family* ResolveFamily(std::string_view name, std::string_view help,
                         MetricType type) QUASAQ_REQUIRES(mu_);

@@ -16,8 +16,62 @@ Status ResourcePool::DeclareBucket(const BucketId& bucket, double capacity) {
                                    " declared with non-positive capacity");
   }
   MutexLock lock(&mu_);
-  buckets_[bucket].capacity = capacity;
+  auto [it, inserted] = buckets_.try_emplace(bucket);
+  it->second.capacity = capacity;
+  if (inserted) {
+    ordered_buckets_.insert(std::lower_bound(ordered_buckets_.begin(),
+                                             ordered_buckets_.end(), bucket),
+                            bucket);
+  }
   return Status::Ok();
+}
+
+double ResourcePool::OverlayMaxFill(const ResourceVector& demand) const {
+  MutexLock lock(&mu_);
+  double max_fill = 0.0;
+  for (const auto& [bucket, state] : buckets_) {
+    if (state.capacity <= 0.0) continue;
+    double fill = (state.used + demand.Get(bucket)) / state.capacity;
+    max_fill = std::max(max_fill, fill);
+  }
+  return max_fill;
+}
+
+double ResourcePool::OverlaySquaredFill(const ResourceVector& demand) const {
+  MutexLock lock(&mu_);
+  double total = 0.0;
+  for (const BucketId& bucket : ordered_buckets_) {
+    const BucketState& state = buckets_.find(bucket)->second;
+    if (state.capacity <= 0.0) continue;
+    double fill = (state.used + demand.Get(bucket)) / state.capacity;
+    total += fill * fill;
+  }
+  return total;
+}
+
+double ResourcePool::FractionalDemand(const ResourceVector& demand) const {
+  MutexLock lock(&mu_);
+  double total = 0.0;
+  for (const ResourceVector::Entry& e : demand.entries()) {
+    auto it = buckets_.find(e.bucket);
+    if (it == buckets_.end() || it->second.capacity <= 0.0) continue;
+    total += e.amount / it->second.capacity;
+  }
+  return total;
+}
+
+std::vector<std::pair<BucketId, double>> ResourcePool::UtilizationSnapshot()
+    const {
+  MutexLock lock(&mu_);
+  std::vector<std::pair<BucketId, double>> out;
+  out.reserve(ordered_buckets_.size());
+  for (const BucketId& bucket : ordered_buckets_) {
+    const BucketState& state = buckets_.find(bucket)->second;
+    out.emplace_back(bucket, state.capacity > 0.0
+                                 ? state.used / state.capacity
+                                 : 0.0);
+  }
+  return out;
 }
 
 bool ResourcePool::HasBucket(const BucketId& bucket) const {
@@ -103,11 +157,7 @@ Status ResourcePool::Release(const ResourceVector& demand) {
 }
 
 std::vector<BucketId> ResourcePool::BucketsLocked() const {
-  std::vector<BucketId> out;
-  out.reserve(buckets_.size());
-  for (const auto& [id, state] : buckets_) out.push_back(id);
-  std::sort(out.begin(), out.end());
-  return out;
+  return ordered_buckets_;
 }
 
 std::vector<BucketId> ResourcePool::Buckets() const {

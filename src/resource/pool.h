@@ -3,6 +3,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/resource_vector.h"
@@ -59,6 +60,32 @@ class ResourcePool {
   /// All declared buckets in a stable order (sorted by id).
   std::vector<BucketId> Buckets() const QUASAQ_EXCLUDES(mu_);
 
+  /// Overlay fill — the LRB inner loop: max over every declared bucket
+  /// of (U_i + demand_i) / R_i, skipping non-positive capacities. One
+  /// lock acquisition for the whole scan; calling Buckets() plus
+  /// Used()/Capacity() per bucket computes the identical value (max is
+  /// order-independent over the same per-bucket quotients) but costs
+  /// ~2N mutex round-trips per plan costed, which is what serialized
+  /// concurrent admissions before bulk reads existed.
+  double OverlayMaxFill(const ResourceVector& demand) const
+      QUASAQ_EXCLUDES(mu_);
+
+  /// Overlay quadratic fill: sum over declared buckets — in sorted id
+  /// order, so the floating-point accumulation is reproducible — of
+  /// ((U_i + demand_i) / R_i)^2, skipping non-positive capacities.
+  double OverlaySquaredFill(const ResourceVector& demand) const
+      QUASAQ_EXCLUDES(mu_);
+
+  /// Sum over `demand`'s entries (in entry order) of amount / capacity;
+  /// undeclared or non-positive-capacity buckets contribute nothing.
+  double FractionalDemand(const ResourceVector& demand) const
+      QUASAQ_EXCLUDES(mu_);
+
+  /// (bucket, U_i / R_i) for every declared bucket in sorted id order,
+  /// read under one lock acquisition (telemetry's bulk Utilization).
+  std::vector<std::pair<BucketId, double>> UtilizationSnapshot() const
+      QUASAQ_EXCLUDES(mu_);
+
   /// The highest utilization across all declared buckets.
   double MaxUtilization() const QUASAQ_EXCLUDES(mu_);
 
@@ -77,6 +104,9 @@ class ResourcePool {
 
   mutable Mutex mu_;
   std::unordered_map<BucketId, BucketState> buckets_ QUASAQ_GUARDED_BY(mu_);
+  // Bucket ids in sorted order, maintained by DeclareBucket (buckets
+  // are never undeclared) so the ordered scans above never re-sort.
+  std::vector<BucketId> ordered_buckets_ QUASAQ_GUARDED_BY(mu_);
 };
 
 }  // namespace quasaq::res

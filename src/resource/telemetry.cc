@@ -11,6 +11,13 @@ PoolTelemetry::PoolTelemetry(const ResourcePool* pool,
     : pool_(pool), registry_(registry) {
   assert(pool_ != nullptr);
   assert(registry_ != nullptr);
+  Prime();
+}
+
+void PoolTelemetry::Prime() {
+  for (const BucketId& bucket : pool_->Buckets()) {
+    GaugeFor(bucket);
+  }
 }
 
 obs::Gauge* PoolTelemetry::GaugeFor(const BucketId& bucket) {
@@ -26,8 +33,13 @@ obs::Gauge* PoolTelemetry::GaugeFor(const BucketId& bucket) {
 }
 
 void PoolTelemetry::Sample(SimTime now) {
-  for (const BucketId& bucket : pool_->Buckets()) {
-    GaugeFor(bucket)->Sample(now, pool_->Utilization(bucket));
+  // One pool-lock acquisition for the whole sweep; after Prime the
+  // gauges_ find below never mutates the map, so concurrent admissions
+  // can sample without coordinating.
+  for (const auto& [bucket, utilization] : pool_->UtilizationSnapshot()) {
+    auto it = gauges_.find(bucket);
+    obs::Gauge* gauge = it != gauges_.end() ? it->second : GaugeFor(bucket);
+    gauge->Sample(now, utilization);
   }
 }
 

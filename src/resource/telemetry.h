@@ -22,8 +22,17 @@ namespace quasaq::res {
 
 class PoolTelemetry {
  public:
-  /// Both pointers must outlive the telemetry object.
+  /// Both pointers must outlive the telemetry object. Gauge series for
+  /// every bucket already declared are resolved here (see Prime), so a
+  /// telemetry object built after pool setup samples without ever
+  /// touching the registry again.
   PoolTelemetry(const ResourcePool* pool, obs::MetricsRegistry* registry);
+
+  /// Resolves the gauge series of every currently declared bucket.
+  /// Call again after declaring buckets post-construction; afterwards
+  /// Sample is read-only on the series map and therefore safe to call
+  /// from concurrent admissions.
+  void Prime();
 
   /// Records one utilization sample per declared bucket at `now`.
   void Sample(SimTime now);
@@ -37,8 +46,9 @@ class PoolTelemetry {
   const ResourcePool* pool_;
   obs::MetricsRegistry* registry_;
   // Buckets are never undeclared, so resolved series pointers are
-  // cached for the pool's lifetime. Only the facade's single-threaded
-  // driver samples; the map needs no lock.
+  // cached for the pool's lifetime. After Prime has seen every bucket,
+  // Sample only reads this map (gauge updates are internally
+  // synchronized), so concurrent samplers need no extra lock.
   std::unordered_map<BucketId, obs::Gauge*> gauges_;
 };
 

@@ -10,6 +10,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/session_manager.h"
+#include "core/system.h"
+#include "net/topology.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "resource/composite_api.h"
@@ -301,6 +303,80 @@ TEST(ConcurrencyStressTest, SessionLifecycleInterleavings) {
   EXPECT_EQ(api.active_reservations(), 0u);
   EXPECT_NEAR(pool.Used(Net(0)), 0.0, 1e-3);
   EXPECT_DOUBLE_EQ(manager.vdbms_active_kbps(SiteId(0)), 0.0);
+}
+
+// The full admission pipeline under 8 submitter threads: concurrent
+// admit / renegotiate / probe / cancel through the sharded MediaDbSystem
+// facade, parallel plan costing on, tracing off (traced admissions are
+// single-threaded by contract). Each thread owns the sessions it starts,
+// so the races under test are the shared layers — plan stream fan-out,
+// the composite QoS API, the sharded session table and the per-shard
+// metrics registries — not cross-thread session ownership.
+TEST(ConcurrencyStressTest, ShardedAdmitRenegotiateCancelPipeline) {
+  constexpr int kOpsPerThread = 150;
+  sim::Simulator simulator;
+  core::MediaDbSystem::Options options;
+  options.kind = core::SystemKind::kVdbmsQuasaq;
+  options.topology = net::Topology::Uniform(4);
+  options.session_shards = 4;
+  options.seed = 17;
+  options.quality.generator.parallel_costing = true;
+  options.quality.generator.costing_threads = 2;
+  core::MediaDbSystem system(&simulator, options);
+  const std::vector<SiteId> sites = system.topology().SiteIds();
+
+  std::atomic<uint64_t> admitted{0};
+  std::atomic<uint64_t> renegotiated{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(7000 + t);
+      const SiteId site = sites[static_cast<size_t>(t) % sites.size()];
+      query::QosRequirement wide;
+      wide.range.min_frame_rate = 1.0;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        LogicalOid content(static_cast<int64_t>((i + 3 * t) % 15));
+        core::MediaDbSystem::DeliveryOutcome outcome =
+            system.SubmitDelivery(site, content, wide);
+        if (!outcome.status.ok()) continue;  // admission pressure is fine
+        ++admitted;
+        if (rng.Bernoulli(0.4)) {
+          Result<core::MediaDbSystem::DeliveryOutcome> changed =
+              system.ChangeSessionQos(outcome.session, wide);
+          if (changed.ok()) ++renegotiated;
+        }
+        std::optional<core::SessionManager::Record> record =
+            system.session_manager().Snapshot(outcome.session);
+        EXPECT_TRUE(record.has_value());
+        EXPECT_TRUE(system.CancelSession(outcome.session).ok());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Every admitted session was cancelled by its owner: table empty,
+  // every reservation handed back, the pool fully drained.
+  EXPECT_EQ(system.outstanding_sessions(), 0);
+  EXPECT_EQ(system.qos_api().active_reservations(), 0u);
+  EXPECT_DOUBLE_EQ(system.pool().MaxUtilization(), 0.0);
+  core::MediaDbSystem::Stats stats = system.stats();
+  EXPECT_EQ(stats.submitted, uint64_t{kThreads} * kOpsPerThread);
+  EXPECT_EQ(stats.admitted, admitted.load());
+  EXPECT_EQ(stats.admitted + stats.rejected, stats.submitted);
+  // The quality manager's atomic counters reconcile with the outcome
+  // tallies (renegotiations happen via ChangeSessionQos, which must not
+  // count as fresh queries).
+  core::QualityManager::Stats plan_stats =
+      system.quality_manager()->stats();
+  EXPECT_EQ(plan_stats.queries, stats.submitted);
+  EXPECT_EQ(plan_stats.admitted, admitted.load());
+  EXPECT_GT(renegotiated.load(), 0u);
+  // Merged exposition renders cleanly after the dust settles.
+  core::MediaDbSystem::ObservabilitySnapshot snapshot =
+      system.TakeObservabilitySnapshot();
+  EXPECT_NE(snapshot.prometheus.find("quasaq_session_started_total"),
+            std::string::npos);
 }
 
 // The metrics registry is the one object every instrumented subsystem

@@ -263,6 +263,62 @@ TEST(TraceGoldenTest, AdmitRenegotiateCompleteProducesNestedSpans) {
   EXPECT_FALSE(snapshot.trace_json.empty());
 }
 
+// Regression: renegotiating a *paused* session plans against the pool
+// but must not masquerade as a fresh query — before the fix it bumped
+// quasaq_plan_queries_total and opened a delivery.admit span, so every
+// paused renegotiation double-counted in the admission metrics. It is
+// also counted exactly once per renegotiation call, no matter how many
+// relaxation rounds the planner retries internally.
+TEST(TraceGoldenTest, PausedRenegotiationCountsOnceAndNotAsQuery) {
+  sim::Simulator simulator;
+  MediaDbSystem::Options options;
+  options.kind = SystemKind::kVdbmsQuasaq;
+  options.seed = 3;
+  options.library.max_duration_seconds = 90.0;
+  options.observability.tracing = true;
+  MediaDbSystem system(&simulator, options);
+
+  query::QosRequirement low;
+  low.range.min_frame_rate = 1.0;
+  low.range.max_resolution = media::kResolutionSif;
+
+  MediaDbSystem::DeliveryOutcome start =
+      system.SubmitDelivery(SiteId(0), LogicalOid(0), low);
+  ASSERT_TRUE(start.status.ok());
+  ASSERT_TRUE(system.PauseSession(start.session).ok());
+
+  query::QosRequirement high;
+  high.range.min_resolution = media::kResolutionSvcd;
+  high.range.min_color_depth_bits = 24;
+  high.range.min_frame_rate = 20.0;
+  Result<MediaDbSystem::DeliveryOutcome> replanned =
+      system.ChangeSessionQos(start.session, high);
+  ASSERT_TRUE(replanned.ok()) << replanned.status().ToString();
+
+  ASSERT_TRUE(system.ResumeSession(start.session).ok());
+  simulator.RunAll();
+
+  // One admission, one renegotiation — the paused replan is neither a
+  // second query nor a second admit span.
+  MediaDbSystem::ObservabilitySnapshot snapshot =
+      system.TakeObservabilitySnapshot();
+  EXPECT_NE(snapshot.prometheus.find("quasaq_plan_queries_total 1"),
+            std::string::npos);
+  EXPECT_NE(snapshot.prometheus.find("quasaq_plan_renegotiations_total 1"),
+            std::string::npos);
+
+  int admit_begins = 0;
+  int renegotiate_begins = 0;
+  for (const obs::Tracer::Event& event :
+       system.observability().tracer().snapshot()) {
+    if (event.phase != 'B') continue;
+    if (event.name == "delivery.admit") ++admit_begins;
+    if (event.name == "session.renegotiate") ++renegotiate_begins;
+  }
+  EXPECT_EQ(admit_begins, 1);
+  EXPECT_EQ(renegotiate_begins, 1);
+}
+
 TEST(TraceGoldenTest, TracingOffByDefaultRecordsNothing) {
   sim::Simulator simulator;
   MediaDbSystem::Options options;
